@@ -1,0 +1,70 @@
+"""Table 4 — memory consumption, bitmap points-to sets.
+
+Memory is accounted analytically (bitmap elements for points-to sets and
+successor sets; BDD node pool for BLQ) — see ``repro.metrics.memory``.
+The paper's qualitative findings to reproduce: points-to sets dominate;
+BLQ's pool is near-constant across benchmarks; standalone HCD uses *more*
+memory than the others (it collapses fewer nodes); +HCD variants use
+slightly less than their bases.
+"""
+
+import pytest
+
+from conftest import TABLE3_ALGORITHMS, emit_table, run_solver
+from paper_data import TABLE4_MEGABYTES
+from repro.metrics.memory import to_megabytes
+from repro.metrics.reporting import Table
+from repro.workloads import BENCHMARK_ORDER
+
+_done = set()
+
+
+@pytest.mark.parametrize("name", BENCHMARK_ORDER)
+@pytest.mark.parametrize("algorithm", TABLE3_ALGORITHMS)
+def test_table4_memory(benchmark, algorithm, name):
+    def measure():
+        solver = run_solver(name, algorithm, pts="bitmap")
+        return solver.stats.total_memory_bytes
+
+    total = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert total > 0
+
+    _done.add((algorithm, name))
+    if len(_done) == len(TABLE3_ALGORITHMS) * len(BENCHMARK_ORDER):
+        _emit()
+        _check_shapes()
+
+
+def _emit():
+    table = Table(
+        "Table 4 — memory in MB, bitmap points-to sets [measured | paper]",
+        ["algorithm"] + BENCHMARK_ORDER,
+    )
+    for algorithm in TABLE3_ALGORITHMS:
+        row = [algorithm]
+        for i, name in enumerate(BENCHMARK_ORDER):
+            solver = run_solver(name, algorithm, pts="bitmap")
+            measured = to_megabytes(solver.stats.total_memory_bytes)
+            paper = TABLE4_MEGABYTES[algorithm][i]
+            paper_text = "OOM" if paper is None else f"{paper}"
+            row.append(f"{measured:.3f} | {paper_text}")
+        table.add_row(row)
+    emit_table(table)
+
+
+def _check_shapes():
+    # (The paper's "BLQ memory is constant across benchmarks" is a BuDDy
+    # artifact — a fixed pre-allocated pool sized for the largest
+    # benchmark.  Our pool accounting is peak allocation, so instead we
+    # check the related, transferable fact: the monolithic BDD relation
+    # costs more than the graph solvers' per-set bitmaps at every size.)
+    for name in BENCHMARK_ORDER:
+        blq = run_solver(name, "blq").stats.total_memory_bytes
+        lcd = run_solver(name, "lcd").stats.total_memory_bytes
+        assert blq > lcd, name
+
+    # Standalone HCD collapses fewer nodes, so it pays in memory vs lcd+hcd.
+    for name in ("wine", "linux"):
+        hcd = run_solver(name, "hcd").stats.total_memory_bytes
+        combined = run_solver(name, "lcd+hcd").stats.total_memory_bytes
+        assert hcd >= combined

@@ -1,0 +1,58 @@
+"""Table 6 — memory consumption with BDD points-to sets.
+
+The paper's qualitative shape: the BDD representation's footprint is the
+shared node pool, far below the bitmap representation's per-set elements,
+and the +HCD variants shrink it further (with BDDs, the constraint graph
+is a much larger share of total memory, so collapsing shows up clearly).
+"""
+
+import pytest
+
+from conftest import TABLE5_ALGORITHMS, emit_table, run_solver
+from paper_data import TABLE6_MEGABYTES
+from repro.metrics.memory import to_megabytes
+from repro.metrics.reporting import Table
+from repro.workloads import BENCHMARK_ORDER
+
+_done = set()
+
+
+@pytest.mark.parametrize("name", BENCHMARK_ORDER)
+@pytest.mark.parametrize("algorithm", TABLE5_ALGORITHMS)
+def test_table6_memory_bdd(benchmark, algorithm, name):
+    def measure():
+        solver = run_solver(name, algorithm, pts="bdd")
+        return solver.stats.total_memory_bytes
+
+    total = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert total > 0
+
+    _done.add((algorithm, name))
+    if len(_done) == len(TABLE5_ALGORITHMS) * len(BENCHMARK_ORDER):
+        _emit()
+        _check_shapes()
+
+
+def _emit():
+    table = Table(
+        "Table 6 — memory in MB, BDD points-to sets [measured | paper]",
+        ["algorithm"] + BENCHMARK_ORDER,
+    )
+    for algorithm in TABLE5_ALGORITHMS:
+        row = [algorithm]
+        for i, name in enumerate(BENCHMARK_ORDER):
+            solver = run_solver(name, algorithm, pts="bdd")
+            measured = to_megabytes(solver.stats.total_memory_bytes)
+            paper = TABLE6_MEGABYTES[algorithm][i]
+            row.append(f"{measured:.3f} | {paper}")
+        table.add_row(row)
+    emit_table(table)
+
+
+def _check_shapes():
+    # BDD points-to sets must beat bitmaps on memory for the big
+    # benchmarks (Figure 10's direction).
+    for name in ("wine", "linux"):
+        bdd = run_solver(name, "lcd+hcd", pts="bdd").stats.pts_memory_bytes
+        bitmap = run_solver(name, "lcd+hcd", pts="bitmap").stats.pts_memory_bytes
+        assert bdd < bitmap

@@ -1,0 +1,61 @@
+"""Figure 6 — the headline comparison (log-scale series in the paper).
+
+LCD+HCD versus the three state-of-the-art baselines, per benchmark, plus
+the paper's average speedup claims: 3.2x over HT, 6.4x over PKH, 20.6x
+over BLQ.  We print the same series and check the *shape*: LCD+HCD wins
+on every benchmark against every baseline, with BLQ the most distant.
+"""
+
+import pytest
+
+from conftest import emit_table, run_solver
+from paper_data import FIG6_SPEEDUPS
+from repro.metrics.reporting import Table, geometric_mean
+from repro.workloads import BENCHMARK_ORDER
+
+SERIES = ["ht", "pkh", "blq", "lcd+hcd"]
+
+
+def test_fig6_series(benchmark):
+    def collect():
+        return {
+            algorithm: [
+                run_solver(name, algorithm).stats.solve_seconds
+                for name in BENCHMARK_ORDER
+            ]
+            for algorithm in SERIES
+        }
+
+    data = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    table = Table(
+        "Figure 6 — LCD+HCD vs the state of the art (seconds; plot on log scale)",
+        ["algorithm"] + BENCHMARK_ORDER,
+    )
+    for algorithm in SERIES:
+        table.add_row([algorithm] + [f"{t:.2f}" for t in data[algorithm]])
+
+    speedups = {}
+    for baseline in ("ht", "pkh", "blq"):
+        ratios = [
+            base / ours if ours > 0 else 1.0
+            for base, ours in zip(data[baseline], data["lcd+hcd"])
+        ]
+        speedups[baseline] = geometric_mean(ratios)
+    table.add_row(
+        ["avg speedup of lcd+hcd"]
+        + [""] * (len(BENCHMARK_ORDER) - 3)
+        + [
+            f"ht {speedups['ht']:.1f}x (paper {FIG6_SPEEDUPS['ht']}x)",
+            f"pkh {speedups['pkh']:.1f}x (paper {FIG6_SPEEDUPS['pkh']}x)",
+            f"blq {speedups['blq']:.1f}x (paper {FIG6_SPEEDUPS['blq']}x)",
+        ]
+    )
+    emit_table(table)
+
+    # Shape checks: the combined algorithm beats every baseline on
+    # average, and BLQ is the slowest baseline.
+    assert speedups["ht"] > 1.0
+    assert speedups["pkh"] > 1.0
+    assert speedups["blq"] > 1.0
+    assert speedups["blq"] > speedups["ht"]

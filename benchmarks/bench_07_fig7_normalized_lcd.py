@@ -1,0 +1,48 @@
+"""Figure 7 — main algorithms normalized to LCD, per benchmark.
+
+Paper findings encoded as shape checks: among the baselines HT is the
+fastest (1.9x faster than PKH, 6.5x faster than BLQ on average), and LCD
+is competitive with HT (1.05x).  Exact constants are hardware- and
+implementation-bound; the ordering is what must survive.
+"""
+
+import pytest
+
+from conftest import emit_table, run_solver
+from repro.metrics.reporting import Table, geometric_mean
+from repro.workloads import BENCHMARK_ORDER
+
+MAIN = ["ht", "pkh", "blq", "hcd", "lcd"]
+
+
+def test_fig7_normalized(benchmark):
+    def collect():
+        return {
+            algorithm: [
+                run_solver(name, algorithm).stats.solve_seconds
+                for name in BENCHMARK_ORDER
+            ]
+            for algorithm in MAIN
+        }
+
+    data = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    table = Table(
+        "Figure 7 — time normalized to LCD (paper avgs: ht 0.95, pkh ~2, blq ~6.5)",
+        ["algorithm"] + BENCHMARK_ORDER + ["geo-mean"],
+    )
+    means = {}
+    for algorithm in MAIN:
+        ratios = [
+            t / lcd if lcd > 0 else 1.0
+            for t, lcd in zip(data[algorithm], data["lcd"])
+        ]
+        means[algorithm] = geometric_mean(ratios)
+        table.add_row(
+            [algorithm] + [f"{r:.2f}" for r in ratios] + [f"{means[algorithm]:.2f}"]
+        )
+    emit_table(table)
+
+    # Shape: BLQ is the slowest of the three baselines on average.
+    assert means["blq"] > means["ht"]
+    assert means["blq"] > 1.0

@@ -1,0 +1,80 @@
+"""Section 5.3 — understanding the results via machine-independent counters.
+
+The paper explains relative performance through three quantities (BLQ is
+excluded there, as here, for its "radically different analysis
+mechanism"):
+
+- *nodes collapsed*: HT and LCD find >99% of what PKH (complete) finds;
+  standalone HCD only 46-74%;
+- *nodes searched*: HCD searches none; HT searches the least of the rest;
+  PKH sweeps the whole graph repeatedly; LCD searches the most per the
+  paper's workloads;
+- *propagations*: LCD fewest among the baselines; HCD most; +HCD slashes
+  propagations for every graph algorithm (10x HT, 7.4x PKH/LCD).
+"""
+
+import pytest
+
+from conftest import emit_table, run_solver
+from repro.metrics.reporting import Table, geometric_mean
+from repro.workloads import BENCHMARK_ORDER
+
+MAIN = ["ht", "pkh", "lcd", "hcd", "ht+hcd", "pkh+hcd", "lcd+hcd"]
+
+
+def test_sec53_counters(benchmark):
+    def collect():
+        return {
+            algorithm: [run_solver(n, algorithm).stats for n in BENCHMARK_ORDER]
+            for algorithm in MAIN
+        }
+
+    data = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    for counter in ("nodes_collapsed", "nodes_searched", "propagations"):
+        table = Table(
+            f"Section 5.3 — {counter.replace('_', ' ')}",
+            ["algorithm"] + BENCHMARK_ORDER,
+        )
+        for algorithm in MAIN:
+            table.add_row(
+                [algorithm]
+                + [getattr(stats, counter) for stats in data[algorithm]]
+            )
+        emit_table(table)
+
+    # --- Shape assertions -------------------------------------------------
+    def totals(algorithm, counter):
+        return sum(getattr(s, counter) for s in data[algorithm])
+
+    # HCD performs no graph traversal at all.
+    assert totals("hcd", "nodes_searched") == 0
+
+    # PKH is complete: nobody collapses more nodes.
+    pkh_collapsed = totals("pkh", "nodes_collapsed")
+    for algorithm in ("ht", "lcd"):
+        assert totals(algorithm, "nodes_collapsed") >= 0.9 * pkh_collapsed
+
+    # Standalone HCD is incomplete: it collapses noticeably fewer.
+    assert totals("hcd", "nodes_collapsed") < pkh_collapsed
+
+    # PKH's periodic sweeps visit far more nodes than HT's demand-driven
+    # queries per unit of cycle found (paper: 2.6x).
+    assert totals("pkh", "nodes_searched") > totals("ht", "nodes_searched")
+
+    # HCD propagates more than the complete/near-complete detectors HT
+    # and PKH — it collapses the fewest nodes, so information circulates
+    # redundantly (the paper's explanation for HCD's 5.2x propagation
+    # count).  Our LCD's position deviates (see EXPERIMENTS.md): its
+    # per-visit propagation discipline costs more counted unions than
+    # PKH's topological batching on these workloads.
+    assert totals("hcd", "propagations") > totals("ht", "propagations")
+    assert totals("hcd", "propagations") > totals("pkh", "propagations")
+
+    # Adding HCD cuts propagations for every graph algorithm.
+    for base in ("ht", "pkh", "lcd"):
+        ratios = [
+            b.propagations / max(h.propagations, 1)
+            for b, h in zip(data[base], data[f"{base}+hcd"])
+        ]
+        assert geometric_mean([r for r in ratios if r > 0]) > 1.0, base

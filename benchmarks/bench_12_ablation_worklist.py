@@ -1,0 +1,50 @@
+"""Ablation — worklist strategy (Section 5.1 implementation notes).
+
+The paper's LCD/HCD use the LRF priority of Pearce et al. with the
+divided (current/next) worklist of Nielson et al., reporting that the
+divided worklist is "significantly better" than a single one.  This bench
+compares strategies on LCD using the machine-independent propagation
+counter alongside wall clock.
+"""
+
+import pytest
+
+from conftest import emit_table, workload
+from repro.metrics.reporting import Table
+from repro.solvers.lcd import LCDSolver
+from repro.workloads import BENCHMARK_ORDER
+
+STRATEGIES = ["fifo", "lifo", "lrf", "divided-fifo", "divided-lrf"]
+BENCHES = ["emacs", "insight", "linux"]
+
+_results = {}
+
+
+@pytest.mark.parametrize("name", BENCHES)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_ablation_worklist(benchmark, strategy, name):
+    system = workload(name).reduced
+
+    def run():
+        solver = LCDSolver(system, worklist=strategy)
+        solver.solve()
+        return solver
+
+    solver = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results[(strategy, name)] = solver.stats
+
+    if len(_results) == len(STRATEGIES) * len(BENCHES):
+        table = Table(
+            "Ablation — LCD worklist strategy (time s / propagations)",
+            ["strategy"] + BENCHES,
+        )
+        for strat in STRATEGIES:
+            table.add_row(
+                [strat]
+                + [
+                    f"{_results[(strat, b)].solve_seconds:.2f} / "
+                    f"{_results[(strat, b)].propagations:,}"
+                    for b in BENCHES
+                ]
+            )
+        emit_table(table)

@@ -1,0 +1,68 @@
+"""Precision — inclusion-based analysis vs Steensgaard's unification.
+
+The paper's motivating argument (Introduction, Related Work): Andersen-
+style analysis is the most precise flow/context-insensitive option, and
+alternatives like Steensgaard trade precision for speed ("much greater
+imprecision").  This bench quantifies that trade on the benchmark
+profiles: total points-to facts, average set size, and may-alias pairs
+over the dereferenced variables — the quantities a client analysis
+actually consumes.
+"""
+
+import pytest
+
+from conftest import emit_table, workload
+from repro.analysis.alias import AliasAnalysis
+from repro.metrics.reporting import Table
+from repro.solvers.registry import make_solver
+
+BENCHES = ["emacs", "ghostscript", "insight", "linux"]
+
+_results = {}
+
+
+@pytest.mark.parametrize("name", BENCHES)
+@pytest.mark.parametrize("analysis", ["andersen", "steensgaard"])
+def test_precision_comparison(benchmark, analysis, name):
+    system = workload(name).reduced
+    algorithm = "lcd+hcd" if analysis == "andersen" else "steensgaard"
+
+    def run():
+        solver = make_solver(system, algorithm)
+        solution = solver.solve()
+        return solver, solution
+
+    solver, solution = benchmark.pedantic(run, rounds=1, iterations=1)
+    pointers = system.dereferenced()
+    alias_pairs = len(AliasAnalysis(solution).alias_pairs(pointers))
+    _results[(analysis, name)] = (
+        solver.stats.solve_seconds,
+        solution.total_size(),
+        solution.average_size(),
+        alias_pairs,
+    )
+
+    if len(_results) == 2 * len(BENCHES):
+        table = Table(
+            "Precision — Andersen (lcd+hcd) vs Steensgaard "
+            "(time s / total facts / avg set / alias pairs among derefs)",
+            ["analysis"] + BENCHES,
+        )
+        for label in ("andersen", "steensgaard"):
+            table.add_row(
+                [label]
+                + [
+                    f"{_results[(label, b)][0]:.2f} / "
+                    f"{_results[(label, b)][1]:,} / "
+                    f"{_results[(label, b)][2]:.1f} / "
+                    f"{_results[(label, b)][3]:,}"
+                    for b in BENCHES
+                ]
+            )
+        emit_table(table)
+
+        for b in BENCHES:
+            # Unification must over-approximate: more facts, never fewer
+            # alias pairs.
+            assert _results[("steensgaard", b)][1] >= _results[("andersen", b)][1]
+            assert _results[("steensgaard", b)][3] >= _results[("andersen", b)][3]

@@ -1,0 +1,67 @@
+"""Ablation — the OVS pointer-equivalence calculus (HVN vs HU).
+
+The paper pre-processes with "a variant of Offline Variable
+Substitution"; the authors' companion paper (Hardekopf & Lin, SAS 2007)
+taxonomizes the variants: HVN (hash-based value numbering) and HU
+(symbolic union evaluation, strictly more equivalences at more offline
+cost).  This bench measures both on the benchmark profiles: constraints
+eliminated, variables substituted, offline time, and the downstream
+lcd+hcd solve time.
+"""
+
+import pytest
+
+from conftest import SCALE, emit_table
+from repro.metrics.reporting import Table
+from repro.preprocess.ovs import offline_variable_substitution
+from repro.solvers.registry import make_solver
+from repro.workloads import generate_workload
+
+BENCHES = ["emacs", "ghostscript", "linux"]
+MODES = ["hvn", "hu"]
+
+_results = {}
+
+
+@pytest.mark.parametrize("name", BENCHES)
+@pytest.mark.parametrize("mode", MODES)
+def test_ablation_ovs_mode(benchmark, mode, name):
+    system = generate_workload(name, scale=SCALE, seed=1)
+
+    def run():
+        ovs = offline_variable_substitution(system, mode=mode)
+        solver = make_solver(ovs.reduced, "lcd+hcd")
+        solver.solve()
+        return ovs, solver
+
+    ovs, solver = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results[(mode, name)] = (
+        len(ovs.reduced),
+        ovs.merged_count(),
+        ovs.offline_seconds,
+        solver.stats.solve_seconds,
+        ovs.expand(solver.solve()),
+    )
+
+    if len(_results) == len(MODES) * len(BENCHES):
+        table = Table(
+            "Ablation — OVS calculus "
+            "(reduced constraints / vars merged / offline s / solve s)",
+            ["mode"] + BENCHES,
+        )
+        for m in MODES:
+            table.add_row(
+                [m]
+                + [
+                    f"{_results[(m, b)][0]:,} / {_results[(m, b)][1]:,} / "
+                    f"{_results[(m, b)][2]:.3f} / {_results[(m, b)][3]:.2f}"
+                    for b in BENCHES
+                ]
+            )
+        emit_table(table)
+
+        for b in BENCHES:
+            # HU subsumes HVN, and both preserve the solution.
+            assert _results[("hu", b)][0] <= _results[("hvn", b)][0]
+            assert _results[("hu", b)][1] >= _results[("hvn", b)][1]
+            assert _results[("hu", b)][4] == _results[("hvn", b)][4]

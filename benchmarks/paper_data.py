@@ -1,0 +1,81 @@
+"""The paper's published evaluation numbers, transcribed for comparison.
+
+Sources: Tables 3-6 of Hardekopf & Lin, PLDI 2007.  ``None`` marks the
+OOM entry (HCD on Wine, Table 3/4).  These are printed next to measured
+values so a reproduction run can be eyeballed against the original, and
+used by EXPERIMENTS.md's shape checks.
+"""
+
+BENCHES = ["emacs", "ghostscript", "gimp", "insight", "wine", "linux"]
+
+#: Table 3 — solve time in seconds, bitmap points-to sets.
+TABLE3_SECONDS = {
+    "hcd-offline": [0.05, 0.17, 0.26, 0.23, 0.51, 0.62],
+    "ht": [1.66, 12.03, 59.00, 42.49, 1388.51, 393.30],
+    "pkh": [2.05, 20.05, 92.30, 117.88, 1946.16, 1181.59],
+    "blq": [4.74, 121.60, 167.56, 265.94, 5117.64, 5144.29],
+    "lcd": [3.07, 15.23, 39.50, 39.02, 1157.10, 327.65],
+    "hcd": [0.46, 49.55, 59.70, 73.92, None, 659.74],
+    "ht+hcd": [0.46, 7.29, 11.94, 14.82, 643.89, 102.77],
+    "pkh+hcd": [0.46, 10.52, 17.12, 21.91, 838.08, 114.45],
+    "blq+hcd": [5.81, 115.00, 173.46, 257.05, 4211.71, 4581.91],
+    "lcd+hcd": [0.56, 7.99, 12.50, 15.97, 492.40, 86.74],
+}
+
+#: Table 4 — memory in megabytes, bitmap points-to sets.
+TABLE4_MEGABYTES = {
+    "ht": [17.7, 84.9, 279.0, 231.5, 1867.2, 901.3],
+    "pkh": [17.6, 83.9, 269.5, 194.7, 1448.3, 840.7],
+    "blq": [215.6, 216.1, 216.2, 216.1, 216.2, 216.2],
+    "lcd": [14.3, 74.6, 269.0, 184.4, 1465.1, 830.1],
+    "hcd": [18.1, 138.7, 416.1, 290.5, None, 1301.5],
+    "ht+hcd": [12.4, 80.8, 253.9, 186.5, 1391.4, 842.5],
+    "pkh+hcd": [13.9, 79.1, 264.6, 186.0, 1430.2, 807.5],
+    "blq+hcd": [215.8, 216.2, 216.2, 216.2, 216.2, 216.2],
+    "lcd+hcd": [13.9, 73.5, 263.9, 183.6, 1406.4, 807.9],
+}
+
+#: Table 5 — solve time in seconds, BDD points-to sets.
+TABLE5_SECONDS = {
+    "ht": [3.44, 18.55, 46.98, 65.00, 1551.89, 419.38],
+    "pkh": [4.23, 19.55, 81.53, 96.50, 1172.15, 801.13],
+    "lcd": [4.96, 19.34, 47.29, 64.57, 1213.43, 380.26],
+    "hcd": [3.96, 24.65, 49.11, 65.01, 731.20, 267.69],
+    "ht+hcd": [2.58, 15.65, 33.69, 42.33, 737.37, 209.90],
+    "pkh+hcd": [3.06, 14.70, 33.71, 43.20, 744.35, 172.43],
+    "lcd+hcd": [3.09, 13.69, 33.04, 43.17, 625.82, 183.97],
+}
+
+#: Table 6 — memory in megabytes, BDD points-to sets.
+TABLE6_MEGABYTES = {
+    "ht": [33.1, 49.3, 100.7, 100.0, 811.2, 274.3],
+    "pkh": [33.2, 33.6, 50.4, 66.8, 226.4, 182.1],
+    "lcd": [33.2, 33.2, 40.1, 33.9, 251.1, 73.5],
+    "hcd": [33.1, 37.1, 36.8, 37.0, 239.6, 65.8],
+    "ht+hcd": [33.1, 37.8, 51.2, 53.9, 410.6, 100.7],
+    "pkh+hcd": [33.1, 33.2, 36.0, 33.2, 103.9, 45.2],
+    "lcd+hcd": [33.1, 33.2, 33.2, 33.2, 173.6, 42.6],
+}
+
+#: Headline average speedups the paper reports for LCD+HCD (Figure 6 / §1).
+FIG6_SPEEDUPS = {"ht": 3.2, "pkh": 6.4, "blq": 20.6}
+
+#: Average speedup each algorithm gains from HCD (Figure 8 / §5.2).
+FIG8_HCD_GAIN = {"ht": 3.2, "pkh": 5.0, "blq": 1.1, "lcd": 3.2}
+
+#: Section 5.4 representation averages.
+FIG9_BDD_SLOWDOWN = 2.0
+FIG10_BDD_MEMORY_SAVING = 5.5
+
+
+def geo_mean_ratio(numerator, denominator):
+    """Geometric-mean ratio across benchmarks, skipping OOM entries."""
+    import math
+
+    logs = []
+    for a, b in zip(numerator, denominator):
+        if a is not None and b is not None and a > 0 and b > 0:
+            logs.append(math.log(a / b))
+    if not logs:
+        return float("nan")
+    return math.exp(sum(logs) / len(logs))

@@ -1,0 +1,106 @@
+"""End-to-end: C source -> constraints -> points-to -> clients.
+
+Demonstrates the full front-end path on a small but idiomatic C program
+(heap allocation, linked structs, function pointers, library stubs), then
+runs the two canonical clients: may-alias queries and call-graph
+construction with devirtualization candidates.
+
+Run:  python examples/analyze_c_program.py
+"""
+
+from repro import solve
+from repro.analysis import AliasAnalysis, build_call_graph
+from repro.frontend import generate_constraints
+
+SOURCE = r"""
+#include <stdlib.h>
+#include <string.h>
+
+struct node { int value; struct node *next; };
+
+struct node *head;
+
+struct node *make_node(int value) {
+    struct node *n = (struct node *) malloc(sizeof(struct node));
+    n->value = value;
+    n->next = 0;
+    return n;
+}
+
+void push(struct node *n) {
+    n->next = head;
+    head = n;
+}
+
+int sum_list(struct node *n) {
+    int total = 0;
+    while (n) {
+        total += n->value;
+        n = n->next;
+    }
+    return total;
+}
+
+/* A tiny "virtual dispatch" table. */
+int twice(int x)  { return x + x; }
+int square(int x) { return x * x; }
+int (*ops[2])(int) = { &twice, &square };
+
+int apply(int which, int x) {
+    int (*op)(int) = ops[which];
+    return op(x);
+}
+
+int main(int argc, char **argv) {
+    push(make_node(1));
+    push(make_node(2));
+    char *name = strdup("list");
+    char *alias = name;
+    int total = sum_list(head);
+    return apply(argc, total);
+}
+"""
+
+
+def main() -> None:
+    program = generate_constraints(SOURCE)
+    system = program.system
+    print(f"front-end: {system.num_vars} variables, {len(system)} constraints")
+    mix = system.kind_counts()
+    print("constraint mix:", {k.value: v for k, v in mix.items()})
+
+    solution = solve(system, algorithm="lcd+hcd")
+
+    def pts(name: str):
+        return sorted(system.name_of(l) for l in solution.points_to(program.node_of(name)))
+
+    print("\nselected points-to sets:")
+    for name in ("head", "make_node::n", "push::n", "sum_list::n", "main::name", "main::alias", "apply::op"):
+        print(f"  {name:14s} -> {pts(name)}")
+
+    # The whole list structure flows through the heap nodes of make_node.
+    alias = AliasAnalysis(solution)
+    head_node = program.node_of("head")
+    n_node = program.node_of("sum_list::n")
+    print(f"\nmay_alias(head, sum_list::n) = {alias.may_alias(head_node, n_node)}")
+    name_node = program.node_of("main::name")
+    alias_node = program.node_of("main::alias")
+    print(f"may_alias(name, alias)       = {alias.may_alias(name_node, alias_node)}")
+
+    graph = build_call_graph(system, solution)
+    print("\nindirect call sites:")
+    for site in sorted(graph.edges):
+        callees = sorted(graph.function_names.get(c, f"v{c}") for c in graph.callees(site))
+        mono = " (devirtualizable)" if len(callees) == 1 else ""
+        print(f"  through {system.name_of(site):12s} -> {callees}{mono}")
+
+    assert alias.may_alias(head_node, n_node)
+    assert {graph.function_names[c] for c in graph.callees(program.node_of("apply::op"))} == {
+        "twice",
+        "square",
+    }
+    print("\nOK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""The field-treatment spectrum on one program.
+
+The paper evaluates field-insensitive analysis, cites Heintze & Tardieu's
+field-based configuration in footnote 2, and takes its PKH baseline from
+a field-sensitive paper.  All three treatments are implemented in the
+front-end; this example runs one program through each and shows how the
+answers differ.
+
+Run:  python examples/field_modes.py
+"""
+
+from repro import solve
+from repro.frontend import generate_constraints
+
+SOURCE = r"""
+struct conn { int *socket_buf; int *user_data; };
+
+struct conn a, b;
+
+int main(void) {
+    int sock, user;
+    a.socket_buf = &sock;
+    a.user_data = &user;
+
+    struct conn *p = &a;
+    int *from_field = p->socket_buf;   /* precise answer: {sock} */
+    int *other_obj  = b.socket_buf;    /* precise answer: {} */
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    print(f"{'mode':14s} {'p->socket_buf':24s} {'b.socket_buf':20s} constraints")
+    answers = {}
+    for mode in ("based", "insensitive", "sensitive"):
+        program = generate_constraints(SOURCE, field_mode=mode)
+        solution = solve(program.system, "lcd+hcd")
+        system = program.system
+
+        def pts(name):
+            return sorted(
+                system.name_of(l) for l in solution.points_to(program.node_of(name))
+            )
+
+        answers[mode] = (pts("main::from_field"), pts("main::other_obj"))
+        print(
+            f"{mode:14s} {str(answers[mode][0]):24s} "
+            f"{str(answers[mode][1]):20s} {len(system)}"
+        )
+
+    # Field-insensitive smears the two fields of `a` together; field-based
+    # smears the same field across *all* objects (unsound direction for
+    # mutation, cheap for reading); sensitive gets both queries exact.
+    assert answers["sensitive"] == (["main::sock"], [])
+    assert set(answers["insensitive"][0]) == {"main::sock", "main::user"}
+    assert answers["based"][1] == answers["based"][0]  # b.f aliases a.f
+    print("\nOK — sensitive is exact, insensitive smears fields within an")
+    print("object, field-based smears an object's field across objects.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Client-facing analysis results and derived analyses.
+
+- :class:`~repro.analysis.solution.PointsToSolution` — the per-variable
+  points-to map every solver produces.
+- :mod:`~repro.analysis.alias` — may-alias queries, the canonical client.
+- :mod:`~repro.analysis.callgraph` — call-graph construction from resolved
+  function pointers (the paper's indirect-call handling made queryable).
+"""
+
+from repro.analysis.alias import AliasAnalysis
+from repro.analysis.callgraph import CallGraph, build_call_graph
+from repro.analysis.escape import EscapeAnalysis
+from repro.analysis.export import (
+    constraint_graph_dot,
+    solution_from_json,
+    solution_to_json,
+)
+from repro.analysis.mod_ref import ModRefAnalysis
+from repro.analysis.solution import PointsToSolution
+
+__all__ = [
+    "PointsToSolution",
+    "AliasAnalysis",
+    "CallGraph",
+    "build_call_graph",
+    "ModRefAnalysis",
+    "EscapeAnalysis",
+    "solution_to_json",
+    "solution_from_json",
+    "constraint_graph_dot",
+]

@@ -1,0 +1,121 @@
+"""Exports: JSON solutions and Graphviz constraint-graph dumps.
+
+Interchange glue for downstream tools: a solved system can be shipped as
+JSON (stable, name-keyed) and the constraint graph inspected visually —
+the first thing one reaches for when debugging a pointer-analysis client.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, TextIO
+
+from repro.analysis.solution import PointsToSolution
+from repro.constraints.model import ConstraintKind, ConstraintSystem
+
+
+def solution_to_json(
+    system: ConstraintSystem,
+    solution: PointsToSolution,
+    include_empty: bool = False,
+    indent: Optional[int] = 2,
+) -> str:
+    """Serialize a solution as name-keyed JSON.
+
+    Layout::
+
+        {"num_vars": 7, "points_to": {"p": ["x", "y"], ...}}
+    """
+    points_to: Dict[str, List[str]] = {}
+    for var in range(system.num_vars):
+        pointees = solution.points_to(var)
+        if pointees or include_empty:
+            points_to[system.name_of(var)] = sorted(
+                system.name_of(loc) for loc in pointees
+            )
+    return json.dumps(
+        {"num_vars": system.num_vars, "points_to": points_to},
+        indent=indent,
+        sort_keys=True,
+    )
+
+
+def solution_from_json(text: str, system: ConstraintSystem) -> PointsToSolution:
+    """Inverse of :func:`solution_to_json` against the same system."""
+    data = json.loads(text)
+    index = {name: node for node, name in enumerate(system.names)}
+    mapping = {
+        index[var]: [index[loc] for loc in locs]
+        for var, locs in data["points_to"].items()
+    }
+    return PointsToSolution(mapping, system.num_vars, system.names)
+
+
+_EDGE_STYLE = {
+    ConstraintKind.COPY: "",
+    ConstraintKind.LOAD: ' [style=dashed, label="load"]',
+    ConstraintKind.STORE: ' [style=dotted, label="store"]',
+}
+
+
+def constraint_graph_dot(
+    system: ConstraintSystem,
+    solution: Optional[PointsToSolution] = None,
+    max_nodes: int = 200,
+) -> str:
+    """Render the (initial) constraint graph as Graphviz ``dot`` text.
+
+    Copy constraints are solid edges; complex constraints dash/dot toward
+    the dereferenced variable.  When a solution is supplied, node labels
+    carry their points-to sets.  Output is truncated at ``max_nodes``
+    mentioned nodes to stay plottable.
+    """
+    lines = ["digraph constraints {", "  rankdir=LR;", "  node [shape=box];"]
+    mentioned: set = set()
+
+    def name(node: int) -> str:
+        mentioned.add(node)
+        return f'"{system.name_of(node)}"'
+
+    for constraint in system.constraints:
+        if len(mentioned) > max_nodes:
+            lines.append(f'  "..." [label="(truncated at {max_nodes} nodes)"];')
+            break
+        kind = constraint.kind
+        if kind is ConstraintKind.BASE:
+            lines.append(
+                f"  {name(constraint.src)} -> {name(constraint.dst)}"
+                ' [style=bold, label="&", dir=back];'
+            )
+        elif kind is ConstraintKind.COPY:
+            lines.append(f"  {name(constraint.src)} -> {name(constraint.dst)};")
+        elif kind is ConstraintKind.LOAD:
+            suffix = f"+{constraint.offset}" if constraint.offset else ""
+            lines.append(
+                f"  {name(constraint.src)} -> {name(constraint.dst)}"
+                f' [style=dashed, label="load{suffix}"];'
+            )
+        else:
+            suffix = f"+{constraint.offset}" if constraint.offset else ""
+            lines.append(
+                f"  {name(constraint.dst)} -> {name(constraint.src)}"
+                f' [style=dotted, label="store{suffix}", dir=back];'
+            )
+
+    if solution is not None:
+        for node in sorted(mentioned):
+            pointees = solution.points_to(node)
+            if pointees:
+                label = system.name_of(node) + "\\n{" + ", ".join(
+                    sorted(system.name_of(p) for p in pointees)
+                ) + "}"
+                lines.append(f'  "{system.name_of(node)}" [label="{label}"];')
+
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot(system: ConstraintSystem, stream: TextIO, **kwargs) -> None:
+    """Write :func:`constraint_graph_dot` output to a stream."""
+    stream.write(constraint_graph_dot(system, **kwargs))
+    stream.write("\n")

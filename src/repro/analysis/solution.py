@@ -1,0 +1,121 @@
+"""The points-to solution produced by every solver.
+
+A solution maps each program variable to the set of abstract locations it
+may point to.  Whatever a solver did internally — collapsing cycles,
+substituting pointer-equivalent variables offline, storing the relation in
+one big BDD — the exported solution is always expressed per *original*
+variable, which is what makes solver outputs directly comparable (the
+repo's core correctness property: every algorithm computes the same
+solution).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence
+
+
+class PointsToSolution:
+    """Immutable per-variable points-to map."""
+
+    def __init__(
+        self,
+        points_to: Mapping[int, Iterable[int]],
+        num_vars: int,
+        names: Optional[Sequence[str]] = None,
+    ) -> None:
+        self._num_vars = num_vars
+        self._names = tuple(names) if names is not None else None
+        self._points_to: Dict[int, FrozenSet[int]] = {}
+        for var, locs in points_to.items():
+            if not 0 <= var < num_vars:
+                raise ValueError(f"variable id {var} out of range")
+            frozen = frozenset(locs)
+            if frozen:
+                self._points_to[var] = frozen
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    def points_to(self, var: int) -> FrozenSet[int]:
+        """Locations ``var`` may point to (empty frozenset if none)."""
+        if not 0 <= var < self._num_vars:
+            raise ValueError(f"variable id {var} out of range")
+        return self._points_to.get(var, frozenset())
+
+    def name_of(self, var: int) -> str:
+        if self._names is not None:
+            return self._names[var]
+        return f"v{var}"
+
+    def by_name(self, names: Sequence[str]) -> Dict[str, FrozenSet[str]]:
+        """Human-readable view: variable name -> set of pointee names."""
+        return {
+            names[var]: frozenset(names[loc] for loc in self.points_to(var))
+            for var in range(self._num_vars)
+        }
+
+    def non_empty_count(self) -> int:
+        """Number of variables with a non-empty points-to set."""
+        return len(self._points_to)
+
+    def total_size(self) -> int:
+        """Sum of points-to set sizes — the solution's raw volume."""
+        return sum(len(s) for s in self._points_to.values())
+
+    def average_size(self) -> float:
+        """Average points-to set size over pointers with non-empty sets."""
+        if not self._points_to:
+            return 0.0
+        return self.total_size() / len(self._points_to)
+
+    # ------------------------------------------------------------------
+    # Comparison and transformation
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PointsToSolution):
+            return NotImplemented
+        return self._num_vars == other._num_vars and self._points_to == other._points_to
+
+    def __hash__(self) -> int:
+        return hash((self._num_vars, frozenset(self._points_to.items())))
+
+    def __repr__(self) -> str:
+        return (
+            f"PointsToSolution(vars={self._num_vars}, "
+            f"pointers={self.non_empty_count()}, total={self.total_size()})"
+        )
+
+    def diff(self, other: "PointsToSolution") -> Dict[int, Dict[str, FrozenSet[int]]]:
+        """Per-variable differences against another solution (for debugging).
+
+        Returns ``{var: {"only_self": ..., "only_other": ...}}`` for each
+        variable whose sets differ.
+        """
+        result: Dict[int, Dict[str, FrozenSet[int]]] = {}
+        for var in range(max(self._num_vars, other._num_vars)):
+            mine = self.points_to(var) if var < self._num_vars else frozenset()
+            theirs = other.points_to(var) if var < other._num_vars else frozenset()
+            if mine != theirs:
+                result[var] = {"only_self": mine - theirs, "only_other": theirs - mine}
+        return result
+
+    def expand(self, var_to_rep: Sequence[int]) -> "PointsToSolution":
+        """Undo an offline variable substitution.
+
+        ``var_to_rep[v]`` names the representative that carried ``v``'s
+        solution during solving; each variable receives its
+        representative's set.
+        """
+        if len(var_to_rep) != self._num_vars:
+            raise ValueError("substitution map length != variable count")
+        expanded = {
+            var: self._points_to.get(var_to_rep[var], frozenset())
+            for var in range(self._num_vars)
+        }
+        return PointsToSolution(expanded, self._num_vars, self._names)

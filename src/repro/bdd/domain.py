@@ -1,0 +1,178 @@
+"""Finite-domain encoding on top of the BDD manager.
+
+BDD-based pointer analysis works with *relations over finite domains*:
+``points_to(variable, heap_object)`` and ``edge(source, target)``.  Each
+domain is a block of boolean variables encoding an integer in binary.  This
+module provides the FDD layer the BuDDy library gave the original BLQ
+implementation: value encoding, set construction, enumeration, and the
+order-preserving renames between same-width domains that the relational
+solver performs every iteration.
+
+Bit allocation order is a first-order performance concern for BDD analyses
+(Berndl et al. devote a section to it).  :class:`DomainAllocator` supports
+both *interleaved* allocation (bit ``i`` of every domain adjacent — the
+layout that keeps the points-to and edge relations small) and *sequential*
+allocation (each domain a contiguous block), which the ablation benchmark
+compares.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.bdd.manager import FALSE, TRUE, BDDManager
+
+
+def bits_for(size: int) -> int:
+    """Number of bits needed to encode values ``0 .. size-1`` (min 1)."""
+    if size < 1:
+        raise ValueError("domain size must be >= 1")
+    return max(1, (size - 1).bit_length())
+
+
+class Domain:
+    """A named finite domain bound to specific BDD variable levels.
+
+    ``levels[0]`` is the most significant bit.  Domains are created through
+    :class:`DomainAllocator`, which owns the level layout.
+    """
+
+    def __init__(self, name: str, size: int, levels: Sequence[int], manager: BDDManager) -> None:
+        self.name = name
+        self.size = size
+        self.levels: Tuple[int, ...] = tuple(levels)
+        self.manager = manager
+        self._encode_cache: Dict[int, int] = {}
+
+    @property
+    def width(self) -> int:
+        return len(self.levels)
+
+    def __repr__(self) -> str:
+        return f"Domain({self.name!r}, size={self.size}, width={self.width})"
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+
+    def encode(self, value: int) -> int:
+        """The BDD (a single path) asserting this domain equals ``value``."""
+        if not 0 <= value < self.size:
+            raise ValueError(f"value {value} outside domain {self.name} of size {self.size}")
+        cached = self._encode_cache.get(value)
+        if cached is not None:
+            return cached
+        manager = self.manager
+        node = TRUE
+        # Build bottom-up: least significant bit sits at the largest level.
+        for i in range(self.width - 1, -1, -1):
+            bit = (value >> (self.width - 1 - i)) & 1
+            level = self.levels[i]
+            node = manager.mk(level, FALSE, node) if bit else manager.mk(level, node, FALSE)
+        self._encode_cache[value] = node
+        return node
+
+    def decode(self, assignment: Dict[int, bool]) -> int:
+        """Read this domain's value out of a total assignment."""
+        value = 0
+        for level in self.levels:
+            value = (value << 1) | int(assignment[level])
+        return value
+
+    def set_of(self, values: Iterable[int]) -> int:
+        """The BDD of ``{v : v in values}`` as a set over this domain."""
+        manager = self.manager
+        node = FALSE
+        for value in values:
+            node = manager.apply_or(node, self.encode(value))
+        return node
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+
+    def values(self, f: int) -> Iterator[int]:
+        """Enumerate the domain values in set ``f`` (support must be ours)."""
+        for assignment in self.manager.allsat(f, self.levels):
+            yield self.decode(assignment)
+
+    def count(self, f: int) -> int:
+        """Cardinality of set ``f`` over this domain."""
+        return self.manager.satcount(f, self.levels)
+
+    # ------------------------------------------------------------------
+    # Relations between domains
+    # ------------------------------------------------------------------
+
+    def equals(self, other: "Domain") -> int:
+        """The relation ``self == other`` (bitwise XNOR conjunction)."""
+        self._check_compatible(other)
+        manager = self.manager
+        node = TRUE
+        for level_a, level_b in zip(reversed(self.levels), reversed(other.levels)):
+            var_a = manager.var(level_a)
+            var_b = manager.var(level_b)
+            agree = manager.negate(manager.apply_xor(var_a, var_b))
+            node = manager.apply_and(node, agree)
+        return node
+
+    def replace_map(self, target: "Domain") -> Dict[int, int]:
+        """Level mapping for ``manager.replace`` renaming self -> target."""
+        self._check_compatible(target)
+        return dict(zip(self.levels, target.levels))
+
+    def _check_compatible(self, other: "Domain") -> None:
+        if self.manager is not other.manager:
+            raise ValueError("domains belong to different managers")
+        if self.width != other.width:
+            raise ValueError(
+                f"domain width mismatch: {self.name}={self.width}, {other.name}={other.width}"
+            )
+
+
+class DomainAllocator:
+    """Lay out a family of finite domains over one BDD manager.
+
+    >>> alloc = DomainAllocator([("src", 100), ("dst", 100)], interleave=True)
+    >>> alloc["src"].width == alloc["dst"].width
+    True
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[Tuple[str, int]],
+        interleave: bool = True,
+        manager: Optional[BDDManager] = None,
+    ) -> None:
+        if not specs:
+            raise ValueError("at least one domain spec is required")
+        names = [name for name, _ in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate domain names")
+        self.manager = manager if manager is not None else BDDManager()
+        self.interleave = interleave
+        self._domains: Dict[str, Domain] = {}
+
+        if interleave:
+            # Pad every domain to the widest and allocate bit i of each
+            # domain adjacently: d0.bit_i, d1.bit_i, ..., d0.bit_{i+1}, ...
+            width = max(bits_for(size) for _, size in specs)
+            first = self.manager.add_vars(width * len(specs))
+            for j, (name, size) in enumerate(specs):
+                levels = [first + i * len(specs) + j for i in range(width)]
+                self._domains[name] = Domain(name, size, levels, self.manager)
+        else:
+            for name, size in specs:
+                width = bits_for(size)
+                first = self.manager.add_vars(width)
+                levels = list(range(first, first + width))
+                self._domains[name] = Domain(name, size, levels, self.manager)
+
+    def __getitem__(self, name: str) -> Domain:
+        return self._domains[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._domains
+
+    def domains(self) -> List[Domain]:
+        return list(self._domains.values())

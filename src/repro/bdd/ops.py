@@ -1,0 +1,63 @@
+"""Set- and relation-level helpers over finite domains.
+
+These are convenience wrappers that the BLQ solver and the BDD points-to-set
+representation share: building a relation BDD from tuples, enumerating it
+back out (``bdd_allsat``), and counting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.bdd.domain import Domain
+from repro.bdd.manager import FALSE, BDDManager
+
+
+def relation_of(pairs: Iterable[Tuple[int, ...]], domains: Sequence[Domain]) -> int:
+    """Build the BDD of a relation from an iterable of value tuples.
+
+    All domains must share one manager.  ``pairs`` may have any arity
+    matching ``len(domains)``.
+    """
+    if not domains:
+        raise ValueError("relation_of needs at least one domain")
+    manager = domains[0].manager
+    node = FALSE
+    for values in pairs:
+        if len(values) != len(domains):
+            raise ValueError(f"tuple arity {len(values)} != domain count {len(domains)}")
+        row = domains[0].encode(values[0])
+        for domain, value in zip(domains[1:], values[1:]):
+            row = manager.apply_and(row, domain.encode(value))
+        node = manager.apply_or(node, row)
+    return node
+
+
+def tuples_of(f: int, domains: Sequence[Domain]) -> Iterator[Tuple[int, ...]]:
+    """Enumerate the value tuples of a relation BDD over ``domains``."""
+    if not domains:
+        raise ValueError("tuples_of needs at least one domain")
+    manager = domains[0].manager
+    levels: List[int] = []
+    for domain in domains:
+        levels.extend(domain.levels)
+    for assignment in manager.allsat(f, levels):
+        yield tuple(domain.decode(assignment) for domain in domains)
+
+
+def relation_count(f: int, domains: Sequence[Domain]) -> int:
+    """Cardinality of a relation BDD over ``domains``."""
+    manager = domains[0].manager
+    levels: List[int] = []
+    for domain in domains:
+        levels.extend(domain.levels)
+    return manager.satcount(f, levels)
+
+
+def project(f: int, onto: Domain, others: Sequence[Domain]) -> int:
+    """Project a relation onto one domain by quantifying the others out."""
+    manager = onto.manager
+    levels: List[int] = []
+    for domain in others:
+        levels.extend(domain.levels)
+    return manager.exist(f, levels)

@@ -1,0 +1,275 @@
+"""Command-line interface.
+
+Mirrors how the paper's artifact was used: constraint files in, points-to
+solutions and statistics out.
+
+::
+
+    python -m repro solve FILE [--algorithm lcd+hcd] [--pts bitmap] [--ovs]
+    python -m repro analyze FILE.c [--query main::p ...] [--callgraph]
+    python -m repro generate BENCHMARK [--scale 128] [--seed 1] [-o FILE]
+    python -m repro compare FILE [--algorithms ht,pkh,lcd+hcd]
+    python -m repro stats FILE
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.callgraph import build_call_graph
+from repro.constraints.parser import read_constraints, write_constraints
+from repro.frontend.generator import generate_constraints
+from repro.metrics.memory import to_megabytes
+from repro.metrics.reporting import Table
+from repro.preprocess.ovs import offline_variable_substitution
+from repro.solvers.registry import available_solvers, make_solver
+from repro.workloads import BENCHMARK_ORDER, generate_workload
+
+
+def _read_system(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        return read_constraints(handle)
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    system = _read_system(args.file)
+    target = system
+    ovs = None
+    if args.ovs:
+        ovs = offline_variable_substitution(system)
+        target = ovs.reduced
+    solver = make_solver(target, args.algorithm, pts=args.pts)
+    solution = solver.solve()
+    if ovs is not None:
+        solution = ovs.expand(solution)
+
+    if args.json:
+        from repro.analysis.export import solution_to_json
+
+        print(solution_to_json(system, solution, include_empty=args.all))
+        return 0
+
+    shown = 0
+    for var in range(system.num_vars):
+        pointees = solution.points_to(var)
+        if not pointees and not args.all:
+            continue
+        names = ", ".join(sorted(system.name_of(p) for p in pointees))
+        print(f"{system.name_of(var)} -> {{{names}}}")
+        shown += 1
+    if args.stats:
+        print()
+        for key, value in solver.stats.as_dict().items():
+            print(f"  {key}: {value}")
+    print(
+        f"\n{solver.full_name}: {shown} pointers, "
+        f"{solution.total_size()} points-to facts, "
+        f"{solver.stats.solve_seconds:.3f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    with open(args.file, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    program = generate_constraints(source, field_mode=args.field_mode)
+    system = program.system
+    solver = make_solver(system, args.algorithm, pts=args.pts)
+    solution = solver.solve()
+
+    if args.query:
+        for name in args.query:
+            try:
+                node = program.node_of(name)
+            except KeyError:
+                print(f"{name}: unknown variable", file=sys.stderr)
+                continue
+            names = ", ".join(
+                sorted(system.name_of(p) for p in solution.points_to(node))
+            )
+            print(f"{name} -> {{{names}}}")
+    else:
+        for name in sorted(program.variables):
+            node = program.variables[name]
+            pointees = solution.points_to(node)
+            if pointees:
+                names = ", ".join(sorted(system.name_of(p) for p in pointees))
+                print(f"{name} -> {{{names}}}")
+
+    if args.callgraph:
+        graph = build_call_graph(system, solution)
+        print("\nindirect call sites:")
+        for site in sorted(graph.edges):
+            callees = sorted(
+                graph.function_names.get(c, f"v{c}") for c in graph.callees(site)
+            )
+            print(f"  {system.name_of(site)} -> {callees}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    system = generate_workload(
+        args.benchmark, scale=1.0 / args.scale, seed=args.seed
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            write_constraints(system, handle)
+        print(
+            f"wrote {len(system)} constraints / {system.num_vars} vars "
+            f"to {args.output}",
+            file=sys.stderr,
+        )
+    else:
+        write_constraints(system, sys.stdout)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    system = _read_system(args.file)
+    algorithms = args.algorithms.split(",") if args.algorithms else [
+        "ht", "pkh", "lcd", "hcd", "lcd+hcd",
+    ]
+    table = Table(
+        f"comparison on {args.file}",
+        ["algorithm", "time (s)", "propagations", "searched",
+         "collapsed", "memory (MB)"],
+    )
+    reference = None
+    for algorithm in algorithms:
+        solver = make_solver(system, algorithm.strip(), pts=args.pts)
+        solution = solver.solve()
+        if reference is None:
+            reference = solution
+        elif solution != reference:
+            print(f"WARNING: {algorithm} disagrees with {algorithms[0]}",
+                  file=sys.stderr)
+        table.add_row(
+            [
+                solver.full_name,
+                solver.stats.solve_seconds,
+                solver.stats.propagations,
+                solver.stats.nodes_searched,
+                solver.stats.nodes_collapsed,
+                to_megabytes(solver.stats.total_memory_bytes),
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from repro.analysis.export import constraint_graph_dot
+
+    system = _read_system(args.file)
+    solution = None
+    if args.solve:
+        solution = make_solver(system, "lcd+hcd").solve()
+    print(constraint_graph_dot(system, solution, max_nodes=args.max_nodes))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    system = _read_system(args.file)
+    counts = system.kind_counts()
+    print(f"variables:    {system.num_vars}")
+    print(f"constraints:  {len(system)}")
+    for kind, count in counts.items():
+        print(f"  {kind.value:6s}  {count}")
+    print(f"functions:    {len(system.functions)}")
+    print(f"address-taken variables: {len(system.address_taken())}")
+    print(f"dereferenced variables:  {len(system.dereferenced())}")
+    ovs = offline_variable_substitution(system)
+    print(
+        f"OVS: {len(system)} -> {len(ovs.reduced)} constraints "
+        f"({ovs.reduction_ratio:.0%} reduction, "
+        f"{ovs.merged_count()} variables substituted)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Inclusion-based pointer analysis (Hardekopf & Lin, PLDI 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--algorithm",
+            default="lcd+hcd",
+            help=f"one of: {', '.join(available_solvers())}",
+        )
+        p.add_argument("--pts", default="bitmap", choices=["bitmap", "bdd"])
+
+    p_solve = sub.add_parser("solve", help="solve a constraint file")
+    p_solve.add_argument("file")
+    common(p_solve)
+    p_solve.add_argument("--ovs", action="store_true", help="pre-process with OVS")
+    p_solve.add_argument("--all", action="store_true", help="print empty sets too")
+    p_solve.add_argument("--stats", action="store_true", help="print solver counters")
+    p_solve.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p_solve.set_defaults(func=_cmd_solve)
+
+    p_dot = sub.add_parser("dot", help="dump the constraint graph as Graphviz dot")
+    p_dot.add_argument("file")
+    p_dot.add_argument("--solve", action="store_true",
+                       help="annotate nodes with their points-to sets")
+    p_dot.add_argument("--max-nodes", type=int, default=200)
+    p_dot.set_defaults(func=_cmd_dot)
+
+    p_analyze = sub.add_parser("analyze", help="analyze a C-subset source file")
+    p_analyze.add_argument("file")
+    common(p_analyze)
+    p_analyze.add_argument("--query", nargs="*", help="variable names to report")
+    p_analyze.add_argument("--callgraph", action="store_true")
+    p_analyze.add_argument(
+        "--field-mode",
+        default="insensitive",
+        choices=["insensitive", "based", "sensitive"],
+        help="field treatment: the paper's insensitive default, the "
+        "footnote-2 field-based variant, or full field-sensitivity",
+    )
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_generate = sub.add_parser("generate", help="emit a synthetic benchmark workload")
+    p_generate.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    p_generate.add_argument("--scale", type=float, default=128.0,
+                            help="scale denominator (paper counts / N)")
+    p_generate.add_argument("--seed", type=int, default=1)
+    p_generate.add_argument("-o", "--output")
+    p_generate.set_defaults(func=_cmd_generate)
+
+    p_compare = sub.add_parser("compare", help="run several algorithms on one file")
+    p_compare.add_argument("file")
+    p_compare.add_argument("--algorithms", help="comma-separated solver names")
+    p_compare.add_argument("--pts", default="bitmap", choices=["bitmap", "bdd"])
+    p_compare.set_defaults(func=_cmd_compare)
+
+    p_stats = sub.add_parser("stats", help="constraint-file statistics + OVS preview")
+    p_stats.add_argument("file")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        # Covers malformed constraint files (ConstraintParseError), front-
+        # end lexer/parser errors, and unknown algorithm names.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""Inclusion-constraint representation.
+
+A linear pass over the program produces three kinds of constraints (paper
+Table 1) — *base* (``a = &b``), *simple* (``a = b``) and *complex*
+(``a = *b`` / ``*a = b``) — plus, following Pearce et al.'s treatment of
+indirect calls, complex constraints carry an optional *offset* so that
+function parameters (numbered contiguously after their function variable)
+can be addressed through a function pointer.
+
+The classes here are the interchange format between the front-end /
+workload generators on one side and the preprocessors / solvers on the
+other, mirroring the paper's split between constraint generation (CIL) and
+constraint solving.
+"""
+
+from repro.constraints.builder import ConstraintBuilder, FunctionHandle
+from repro.constraints.model import (
+    Constraint,
+    ConstraintKind,
+    ConstraintSystem,
+    FunctionInfo,
+)
+from repro.constraints.parser import (
+    loads_constraints,
+    dumps_constraints,
+    read_constraints,
+    write_constraints,
+)
+
+__all__ = [
+    "Constraint",
+    "ConstraintKind",
+    "ConstraintSystem",
+    "FunctionInfo",
+    "ConstraintBuilder",
+    "FunctionHandle",
+    "loads_constraints",
+    "dumps_constraints",
+    "read_constraints",
+    "write_constraints",
+]

@@ -1,0 +1,209 @@
+"""Ergonomic construction of constraint systems.
+
+The builder hides the dense-id plumbing: it interns variable names, lays out
+function node blocks (function variable, return node, parameter nodes) and
+desugars calls into the offset-carrying complex constraints the solvers
+consume.
+
+>>> b = ConstraintBuilder()
+>>> p, x = b.var("p"), b.var("x")
+>>> b.address_of(p, x)
+>>> q = b.var("q")
+>>> b.assign(q, p)
+>>> system = b.build()
+>>> len(system)
+2
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.constraints.model import (
+    PARAM_OFFSET,
+    RETURN_OFFSET,
+    Constraint,
+    ConstraintKind,
+    ConstraintSystem,
+    FunctionInfo,
+    ObjectBlock,
+)
+
+
+@dataclass(frozen=True)
+class FunctionHandle:
+    """Builder-side view of a function's node block."""
+
+    node: int
+    name: str
+    params: Tuple[int, ...]
+    return_node: int
+
+
+@dataclass(frozen=True)
+class BlockHandle:
+    """Builder-side view of a field-sensitive object block."""
+
+    node: int
+    name: str
+    fields: Tuple[int, ...]
+
+    def field(self, index: int) -> int:
+        return self.fields[index]
+
+    def field_offset(self, index: int) -> int:
+        """Offset of field ``index`` relative to the base node."""
+        return 1 + index
+
+
+class ConstraintBuilder:
+    """Accumulates variables, functions and constraints, then builds."""
+
+    def __init__(self) -> None:
+        self._names: List[str] = []
+        self._by_name: Dict[str, int] = {}
+        self._constraints: List[Constraint] = []
+        self._functions: Dict[int, FunctionInfo] = {}
+        self._blocks: Dict[int, ObjectBlock] = {}
+
+    # ------------------------------------------------------------------
+    # Variables and functions
+    # ------------------------------------------------------------------
+
+    def var(self, name: Optional[str] = None) -> int:
+        """Intern a named variable (or create an anonymous temporary)."""
+        if name is not None:
+            existing = self._by_name.get(name)
+            if existing is not None:
+                return existing
+        node = len(self._names)
+        if name is None:
+            name = f"tmp{node}"
+            while name in self._by_name:
+                name = f"tmp{node}_"
+        self._names.append(name)
+        self._by_name[name] = node
+        return node
+
+    def lookup(self, name: str) -> Optional[int]:
+        return self._by_name.get(name)
+
+    def name_of(self, node: int) -> str:
+        return self._names[node]
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._names)
+
+    def function(self, name: str, params: Sequence[str]) -> FunctionHandle:
+        """Lay out a function block: variable, return node, parameters.
+
+        The block is contiguous by construction — the invariant the
+        offset-based indirect-call resolution relies on.
+        """
+        if name in self._by_name:
+            raise ValueError(f"function name {name!r} already interned")
+        node = self.var(name)
+        ret = self.var(f"{name}.ret")
+        param_nodes = tuple(self.var(f"{name}::{p}") for p in params)
+        if ret != node + RETURN_OFFSET or any(
+            param != node + PARAM_OFFSET + i for i, param in enumerate(param_nodes)
+        ):
+            raise AssertionError("function block layout violated")
+        info = FunctionInfo(node=node, name=name, param_count=len(param_nodes))
+        self._functions[node] = info
+        # A function variable points to itself: taking a function's address
+        # (or naming it) yields a pointer to the function object.
+        self.address_of(node, node)
+        return FunctionHandle(node=node, name=name, params=param_nodes, return_node=ret)
+
+    def object_block(self, name: str, fields: Sequence[str]) -> BlockHandle:
+        """Lay out a field-sensitive object: base node + one node per field.
+
+        The block is contiguous; field ``i`` lives at offset ``1 + i``
+        from the base, addressable through pointers via the offset forms
+        of LOAD/STORE/OFFS.
+        """
+        if name in self._by_name:
+            raise ValueError(f"block name {name!r} already interned")
+        node = self.var(name)
+        field_nodes = tuple(self.var(f"{name}.{f}") for f in fields)
+        if any(fn != node + 1 + i for i, fn in enumerate(field_nodes)):
+            raise AssertionError("object block layout violated")
+        self._blocks[node] = ObjectBlock(node=node, name=name, size=len(field_nodes))
+        return BlockHandle(node=node, name=name, fields=field_nodes)
+
+    # ------------------------------------------------------------------
+    # Constraints
+    # ------------------------------------------------------------------
+
+    def address_of(self, dst: int, src: int) -> None:
+        """``dst = &src``"""
+        self._constraints.append(Constraint(ConstraintKind.BASE, dst, src))
+
+    def assign(self, dst: int, src: int) -> None:
+        """``dst = src``"""
+        self._constraints.append(Constraint(ConstraintKind.COPY, dst, src))
+
+    def load(self, dst: int, src: int, offset: int = 0) -> None:
+        """``dst = *(src + offset)``"""
+        self._constraints.append(Constraint(ConstraintKind.LOAD, dst, src, offset))
+
+    def store(self, dst: int, src: int, offset: int = 0) -> None:
+        """``*(dst + offset) = src``"""
+        self._constraints.append(Constraint(ConstraintKind.STORE, dst, src, offset))
+
+    def offset_assign(self, dst: int, src: int, offset: int) -> None:
+        """``dst = src + offset`` — the field-address (GEP) form.
+
+        ``pts(dst)`` receives ``v + offset`` for every valid pointee
+        ``v`` of ``src``; offset 0 degrades to a plain copy.
+        """
+        if offset == 0:
+            self.assign(dst, src)
+        else:
+            self._constraints.append(Constraint(ConstraintKind.OFFS, dst, src, offset))
+
+    def call_direct(
+        self,
+        callee: FunctionHandle,
+        args: Sequence[int],
+        ret: Optional[int] = None,
+    ) -> None:
+        """A direct call: plain copy constraints into the parameter nodes."""
+        for param, arg in zip(callee.params, args):
+            self.assign(param, arg)
+        if ret is not None:
+            self.assign(ret, callee.return_node)
+
+    def call_indirect(
+        self,
+        fn_ptr: int,
+        args: Sequence[int],
+        ret: Optional[int] = None,
+    ) -> None:
+        """A call through a function pointer, desugared per Pearce et al.
+
+        Argument ``i`` is stored through ``fn_ptr`` at parameter offset
+        ``i``; the return value is loaded at the return offset.  Pointees of
+        ``fn_ptr`` that are not functions of sufficient arity are filtered
+        by the solvers via :attr:`ConstraintSystem.max_offset`.
+        """
+        for i, arg in enumerate(args):
+            self.store(fn_ptr, arg, offset=PARAM_OFFSET + i)
+        if ret is not None:
+            self.load(ret, fn_ptr, offset=RETURN_OFFSET)
+
+    def raw(self, constraint: Constraint) -> None:
+        """Append an already-formed constraint."""
+        self._constraints.append(constraint)
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+
+    def build(self) -> ConstraintSystem:
+        return ConstraintSystem(
+            self._names, self._constraints, self._functions, self._blocks
+        )

@@ -1,0 +1,299 @@
+"""Constraint and constraint-system data model.
+
+Variables are dense integer ids (``0 .. num_vars - 1``); names are kept in a
+side table for reporting.  The four constraint kinds and their semantics,
+writing ``pts(v)`` for the points-to set of ``v`` and ``loc(v)`` for the
+abstract memory location named by ``v``:
+
+========  ==============  =======================================================
+kind      program code    meaning
+========  ==============  =======================================================
+BASE      ``a = &b``      ``loc(b) in pts(a)``
+COPY      ``a = b``       ``pts(a) >= pts(b)``
+LOAD      ``a = *(b+k)``  ``for v in pts(b): pts(a) >= pts(v+k)``
+STORE     ``*(a+k) = b``  ``for v in pts(a): pts(v+k) >= pts(b)``
+========  ==============  =======================================================
+
+Offsets (``k``) implement the paper's indirect-call scheme: "function
+parameters are numbered contiguously starting immediately after their
+corresponding function variable, and when resolving indirect calls they are
+accessed as offsets to that function variable".  A function ``f`` with ``n``
+parameters occupies ``n + 2`` consecutive ids::
+
+    f        the function variable itself (what a function pointer points to)
+    f + 1    the return-value node
+    f + 2+i  the node of parameter i
+
+An offset dereference ``v + k`` is only meaningful when ``v`` is a function
+node whose layout extends at least ``k`` slots; other targets are skipped,
+recorded in :attr:`ConstraintSystem.max_offset`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Offset of the return-value node relative to its function variable.
+RETURN_OFFSET = 1
+#: Offset of the first parameter node relative to its function variable.
+PARAM_OFFSET = 2
+
+
+class ConstraintKind(enum.Enum):
+    """The constraint taxonomy of paper Table 1 (plus OFFS).
+
+    OFFS is the offset-copy form of Pearce et al.'s *field-sensitive*
+    model (``a = &b->f`` desugars to ``a = b + k``): it is what a truly
+    field-sensitive front-end needs beyond Table 1, and degenerates to
+    COPY at offset 0.
+    """
+
+    BASE = "base"
+    COPY = "copy"
+    LOAD = "load"
+    STORE = "store"
+    OFFS = "offs"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One inclusion constraint.
+
+    ``dst``/``src`` follow assignment orientation: ``dst`` is the left-hand
+    side.  For STORE the dereference applies to ``dst`` (``*(dst+k) = src``);
+    for LOAD it applies to ``src`` (``dst = *(src+k)``).
+    """
+
+    kind: ConstraintKind
+    dst: int
+    src: int
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dst < 0 or self.src < 0:
+            raise ValueError(f"negative variable id in {self}")
+        if self.offset < 0:
+            raise ValueError(f"negative offset in {self}")
+        if self.offset and self.kind in (ConstraintKind.BASE, ConstraintKind.COPY):
+            raise ValueError(f"{self.kind} constraints cannot carry an offset")
+        if self.kind is ConstraintKind.OFFS and self.offset == 0:
+            raise ValueError("offset-copy with offset 0 should be a COPY")
+
+    def __str__(self) -> str:
+        if self.kind is ConstraintKind.BASE:
+            return f"v{self.dst} = &v{self.src}"
+        if self.kind is ConstraintKind.COPY:
+            return f"v{self.dst} = v{self.src}"
+        if self.kind is ConstraintKind.OFFS:
+            return f"v{self.dst} = v{self.src}+{self.offset}"
+        suffix = f"+{self.offset}" if self.offset else ""
+        if self.kind is ConstraintKind.LOAD:
+            return f"v{self.dst} = *(v{self.src}{suffix})"
+        return f"*(v{self.dst}{suffix}) = v{self.src}"
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """Layout of a function's node block (see module docstring)."""
+
+    node: int
+    name: str
+    param_count: int
+
+    @property
+    def return_node(self) -> int:
+        return self.node + RETURN_OFFSET
+
+    @property
+    def param_nodes(self) -> Tuple[int, ...]:
+        return tuple(self.node + PARAM_OFFSET + i for i in range(self.param_count))
+
+    @property
+    def block_size(self) -> int:
+        """Number of consecutive ids the function occupies."""
+        return PARAM_OFFSET + self.param_count
+
+    @property
+    def max_offset(self) -> int:
+        """Largest valid offset relative to the function variable."""
+        return self.block_size - 1
+
+
+@dataclass(frozen=True)
+class ObjectBlock:
+    """A field-sensitive object: a base id owning ``size`` extra slots.
+
+    ``node + 1 + i`` is field ``i``'s location — the struct-variable
+    analogue of the function block, enabling the full Pearce et al.
+    field-sensitive model.
+    """
+
+    node: int
+    name: str
+    size: int  # number of field slots after the base
+
+    @property
+    def field_nodes(self) -> Tuple[int, ...]:
+        return tuple(self.node + 1 + i for i in range(self.size))
+
+    @property
+    def block_size(self) -> int:
+        return 1 + self.size
+
+    @property
+    def max_offset(self) -> int:
+        return self.size
+
+
+class ConstraintSystem:
+    """An immutable set of inclusion constraints over dense variable ids.
+
+    Build one through :class:`~repro.constraints.builder.ConstraintBuilder`,
+    the text :mod:`~repro.constraints.parser`, the C front-end, or a
+    workload generator.
+    """
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        constraints: Sequence[Constraint],
+        functions: Optional[Dict[int, FunctionInfo]] = None,
+        object_blocks: Optional[Dict[int, "ObjectBlock"]] = None,
+    ) -> None:
+        self._names: Tuple[str, ...] = tuple(names)
+        self._functions: Dict[int, FunctionInfo] = dict(functions or {})
+        self._object_blocks: Dict[int, ObjectBlock] = dict(object_blocks or {})
+        self._validate_functions()
+        self._validate_blocks()
+        self._constraints: Tuple[Constraint, ...] = tuple(constraints)
+        self._validate_constraints()
+        self.max_offset: List[int] = [0] * len(self._names)
+        for info in self._functions.values():
+            self.max_offset[info.node] = info.max_offset
+        for block in self._object_blocks.values():
+            self.max_offset[block.node] = block.max_offset
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def _validate_functions(self) -> None:
+        for node, info in self._functions.items():
+            if node != info.node:
+                raise ValueError(f"function table key {node} != info node {info.node}")
+            if info.node + info.block_size > len(self._names):
+                raise ValueError(f"function {info.name} block exceeds variable count")
+
+    def _validate_blocks(self) -> None:
+        for node, block in self._object_blocks.items():
+            if node != block.node:
+                raise ValueError(f"block table key {node} != block node {block.node}")
+            if block.node + block.block_size > len(self._names):
+                raise ValueError(f"object block {block.name} exceeds variable count")
+            if node in self._functions:
+                raise ValueError(f"node {node} is both a function and an object block")
+
+    def _validate_constraints(self) -> None:
+        limit = len(self._names)
+        for constraint in self._constraints:
+            if constraint.dst >= limit or constraint.src >= limit:
+                raise ValueError(f"constraint {constraint} references unknown variable")
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._names)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return self._names
+
+    def name_of(self, node: int) -> str:
+        return self._names[node]
+
+    @property
+    def constraints(self) -> Tuple[Constraint, ...]:
+        return self._constraints
+
+    @property
+    def functions(self) -> Dict[int, FunctionInfo]:
+        return dict(self._functions)
+
+    @property
+    def object_blocks(self) -> Dict[int, "ObjectBlock"]:
+        return dict(self._object_blocks)
+
+    def function_at(self, node: int) -> Optional[FunctionInfo]:
+        return self._functions.get(node)
+
+    def by_kind(self, kind: ConstraintKind) -> Iterator[Constraint]:
+        return (c for c in self._constraints if c.kind is kind)
+
+    def kind_counts(self) -> Dict[ConstraintKind, int]:
+        """Constraint-mix breakdown, as reported in paper Table 2."""
+        counts = {kind: 0 for kind in ConstraintKind}
+        for constraint in self._constraints:
+            counts[constraint.kind] += 1
+        return counts
+
+    def complex_count(self) -> int:
+        """Number of complex (LOAD + STORE) constraints."""
+        counts = self.kind_counts()
+        return counts[ConstraintKind.LOAD] + counts[ConstraintKind.STORE]
+
+    def address_taken(self) -> List[int]:
+        """Variables whose address is taken (appear as BASE source)."""
+        seen = set()
+        for constraint in self._constraints:
+            if constraint.kind is ConstraintKind.BASE:
+                seen.add(constraint.src)
+        return sorted(seen)
+
+    def dereferenced(self) -> List[int]:
+        """Variables that are dereferenced by some complex constraint."""
+        seen = set()
+        for constraint in self._constraints:
+            if constraint.kind is ConstraintKind.LOAD:
+                seen.add(constraint.src)
+            elif constraint.kind is ConstraintKind.STORE:
+                seen.add(constraint.dst)
+        return sorted(seen)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __iter__(self) -> Iterator[Constraint]:
+        return iter(self._constraints)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConstraintSystem):
+            return NotImplemented
+        return (
+            self._names == other._names
+            and self._constraints == other._constraints
+            and self._functions == other._functions
+            and self._object_blocks == other._object_blocks
+        )
+
+    def __repr__(self) -> str:
+        counts = self.kind_counts()
+        mix = ", ".join(f"{kind.value}={count}" for kind, count in counts.items())
+        return f"ConstraintSystem(vars={self.num_vars}, {mix})"
+
+    # ------------------------------------------------------------------
+    # Derived systems
+    # ------------------------------------------------------------------
+
+    def with_constraints(self, constraints: Sequence[Constraint]) -> "ConstraintSystem":
+        """A copy of this system with a different constraint list."""
+        return ConstraintSystem(
+            self._names, constraints, self._functions, self._object_blocks
+        )

@@ -1,0 +1,191 @@
+"""Text serialization of constraint systems.
+
+The paper keeps constraint generation and constraint solving separate,
+communicating through constraint files; this module defines the equivalent
+on-disk format so generated workloads can be saved, inspected and replayed.
+
+Format (one directive per line, ``#`` starts a comment)::
+
+    var <name>                 declare a plain variable
+    fun <name> <nparams>       declare a function block (var, ret, params)
+    base <a> <b>               a = &b
+    copy <a> <b>               a = b
+    load <a> <b> [k]           a = *(b + k)
+    store <a> <b> [k]          *(a + k) = b
+
+Variables may be referenced by name (declared earlier) or by ``%<id>``.
+Declaration order fixes the id assignment, so a round-trip through
+``dumps_constraints`` / ``loads_constraints`` is exact.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, TextIO, Union
+
+from repro.constraints.model import (
+    Constraint,
+    ConstraintKind,
+    ConstraintSystem,
+    FunctionInfo,
+    ObjectBlock,
+    PARAM_OFFSET,
+    RETURN_OFFSET,
+)
+
+_KIND_BY_NAME = {kind.value: kind for kind in ConstraintKind}
+
+
+class ConstraintParseError(ValueError):
+    """Raised on a malformed constraint file, with line information."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+def read_constraints(stream: TextIO) -> ConstraintSystem:
+    """Parse a constraint file from a text stream."""
+    names: List[str] = []
+    by_name: Dict[str, int] = {}
+    functions: Dict[int, FunctionInfo] = {}
+    blocks: Dict[int, ObjectBlock] = {}
+    constraints: List[Constraint] = []
+
+    def declare(name: str, line_no: int) -> int:
+        if name in by_name:
+            raise ConstraintParseError(line_no, f"duplicate variable {name!r}")
+        node = len(names)
+        names.append(name)
+        by_name[name] = node
+        return node
+
+    def resolve(token: str, line_no: int) -> int:
+        if token.startswith("%"):
+            try:
+                node = int(token[1:])
+            except ValueError:
+                raise ConstraintParseError(line_no, f"bad id reference {token!r}") from None
+            if not 0 <= node < len(names):
+                raise ConstraintParseError(line_no, f"id {token} out of range")
+            return node
+        node = by_name.get(token)
+        if node is None:
+            raise ConstraintParseError(line_no, f"unknown variable {token!r}")
+        return node
+
+    for line_no, raw_line in enumerate(stream, start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        directive = tokens[0]
+        if directive == "var":
+            if len(tokens) != 2:
+                raise ConstraintParseError(line_no, "var takes exactly one name")
+            declare(tokens[1], line_no)
+        elif directive == "fun":
+            if len(tokens) != 3:
+                raise ConstraintParseError(line_no, "fun takes a name and a param count")
+            try:
+                param_count = int(tokens[2])
+            except ValueError:
+                raise ConstraintParseError(line_no, "param count must be an integer") from None
+            if param_count < 0:
+                raise ConstraintParseError(line_no, "param count must be non-negative")
+            fn_name = tokens[1]
+            node = declare(fn_name, line_no)
+            declare(f"{fn_name}.ret", line_no)
+            for i in range(param_count):
+                declare(f"{fn_name}::p{i}", line_no)
+            functions[node] = FunctionInfo(node=node, name=fn_name, param_count=param_count)
+            constraints.append(Constraint(ConstraintKind.BASE, node, node))
+        elif directive == "obj":
+            if len(tokens) != 3:
+                raise ConstraintParseError(line_no, "obj takes a name and a field count")
+            try:
+                field_count = int(tokens[2])
+            except ValueError:
+                raise ConstraintParseError(line_no, "field count must be an integer") from None
+            if field_count < 0:
+                raise ConstraintParseError(line_no, "field count must be non-negative")
+            obj_name = tokens[1]
+            node = declare(obj_name, line_no)
+            for i in range(field_count):
+                declare(f"{obj_name}.f{i}", line_no)
+            blocks[node] = ObjectBlock(node=node, name=obj_name, size=field_count)
+        elif directive in _KIND_BY_NAME:
+            kind = _KIND_BY_NAME[directive]
+            expects_offset = kind in (
+                ConstraintKind.LOAD,
+                ConstraintKind.STORE,
+                ConstraintKind.OFFS,
+            )
+            if len(tokens) not in ((3, 4) if expects_offset else (3,)):
+                raise ConstraintParseError(line_no, f"bad arity for {directive}")
+            dst = resolve(tokens[1], line_no)
+            src = resolve(tokens[2], line_no)
+            offset = 0
+            if len(tokens) == 4:
+                try:
+                    offset = int(tokens[3])
+                except ValueError:
+                    raise ConstraintParseError(line_no, "offset must be an integer") from None
+            try:
+                constraints.append(Constraint(kind, dst, src, offset))
+            except ValueError as exc:
+                raise ConstraintParseError(line_no, str(exc)) from None
+        else:
+            raise ConstraintParseError(line_no, f"unknown directive {directive!r}")
+
+    return ConstraintSystem(names, constraints, functions, blocks)
+
+
+def loads_constraints(text: str) -> ConstraintSystem:
+    """Parse a constraint file from a string."""
+    return read_constraints(io.StringIO(text))
+
+
+def write_constraints(system: ConstraintSystem, stream: TextIO) -> None:
+    """Serialize ``system`` to a text stream (inverse of ``read_constraints``)."""
+    functions = system.functions
+    implicit_self_base = {
+        (info.node, info.node) for info in functions.values()
+    }
+
+    blocks = system.object_blocks
+    node = 0
+    while node < system.num_vars:
+        info = functions.get(node)
+        block = blocks.get(node)
+        if info is not None:
+            stream.write(f"fun {info.name} {info.param_count}\n")
+            node += info.block_size
+        elif block is not None:
+            stream.write(f"obj {block.name} {block.size}\n")
+            node += block.block_size
+        else:
+            stream.write(f"var {system.name_of(node)}\n")
+            node += 1
+
+    emitted_self_base = set()
+    for constraint in system.constraints:
+        if (
+            constraint.kind is ConstraintKind.BASE
+            and (constraint.dst, constraint.src) in implicit_self_base
+            and (constraint.dst, constraint.src) not in emitted_self_base
+        ):
+            # `fun` re-creates the function's self-pointing base constraint.
+            emitted_self_base.add((constraint.dst, constraint.src))
+            continue
+        parts = [constraint.kind.value, f"%{constraint.dst}", f"%{constraint.src}"]
+        if constraint.offset:
+            parts.append(str(constraint.offset))
+        stream.write(" ".join(parts) + "\n")
+
+
+def dumps_constraints(system: ConstraintSystem) -> str:
+    """Serialize ``system`` to a string."""
+    buffer = io.StringIO()
+    write_constraints(system, buffer)
+    return buffer.getvalue()

@@ -1,0 +1,133 @@
+"""Hand-written summaries for external library functions.
+
+The paper: "External library calls are summarized using hand-crafted
+function stubs."  A stub receives the generator, the argument value nodes
+and the call's line number, and returns the node holding the call's value
+(or ``None`` for a pointer-free result).  Summaries only model the
+pointer behaviour that matters for a field-insensitive analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+#: Signature of a stub: (generator, arg_nodes, line) -> value node or None.
+Stub = Callable[["ConstraintGenerator", List[Optional[int]], int], Optional[int]]
+
+
+def _alloc(gen, args, line):
+    """malloc/calloc/realloc family: returns a fresh heap object."""
+    return gen.heap_alloc(line)
+
+
+def _realloc(gen, args, line):
+    """realloc: may return the old block or a fresh one."""
+    result = gen.heap_alloc(line)
+    if args and args[0] is not None:
+        result = gen.join_values([result, args[0]], line)
+    return result
+
+
+def _identity_first(gen, args, line):
+    """Functions returning their first argument (memcpy, strcpy, ...)."""
+    return args[0] if args else None
+
+
+def _memcpy(gen, args, line):
+    """memcpy/memmove(dst, src, n): *dst gets *src; returns dst."""
+    if len(args) >= 2 and args[0] is not None and args[1] is not None:
+        tmp = gen.fresh_tmp(line, "memcpy")
+        gen.builder.load(tmp, args[1])
+        gen.builder.store(args[0], tmp)
+    return args[0] if args else None
+
+def _strdup(gen, args, line):
+    """strdup: fresh heap copy of the string."""
+    return gen.heap_alloc(line)
+
+
+def _strchr(gen, args, line):
+    """strchr/strstr/strrchr: pointer into the first argument."""
+    return args[0] if args else None
+
+
+def _getenv(gen, args, line):
+    """getenv & friends: an unknown static buffer, one per callee name."""
+    return gen.unknown_object("getenv", line)
+
+
+def _free(gen, args, line):
+    return None
+
+
+def _noop(gen, args, line):
+    return None
+
+
+#: Default stub table, keyed by callee name.
+DEFAULT_STUBS: Dict[str, Stub] = {
+    # Allocation.
+    "malloc": _alloc,
+    "calloc": _alloc,
+    "valloc": _alloc,
+    "alloca": _alloc,
+    "xmalloc": _alloc,
+    "realloc": _realloc,
+    "free": _free,
+    # String/memory movement.
+    "memcpy": _memcpy,
+    "memmove": _memcpy,
+    "strcpy": _identity_first,
+    "strncpy": _identity_first,
+    "strcat": _identity_first,
+    "strncat": _identity_first,
+    "memset": _identity_first,
+    "strdup": _strdup,
+    "strndup": _strdup,
+    # Pointer-into-argument search functions.
+    "strchr": _strchr,
+    "strrchr": _strchr,
+    "strstr": _strchr,
+    "memchr": _strchr,
+    "index": _strchr,
+    "rindex": _strchr,
+    # Environment / static-buffer returners.
+    "getenv": _getenv,
+    "ctime": _getenv,
+    "asctime": _getenv,
+    "localtime": _getenv,
+    "gmtime": _getenv,
+    "ttyname": _getenv,
+    # Pure / pointer-free externals.
+    "printf": _noop,
+    "fprintf": _noop,
+    "sprintf": _identity_first,
+    "snprintf": _identity_first,
+    "puts": _noop,
+    "putchar": _noop,
+    "scanf": _noop,
+    "strlen": _noop,
+    "strcmp": _noop,
+    "strncmp": _noop,
+    "memcmp": _noop,
+    "abs": _noop,
+    "exit": _noop,
+    "abort": _noop,
+    "atoi": _noop,
+    "atol": _noop,
+    "atof": _noop,
+    "rand": _noop,
+    "srand": _noop,
+    "qsort": _noop,  # refined below
+}
+
+
+def _qsort(gen, args, line):
+    """qsort(base, n, size, cmp): cmp is called with pointers into base."""
+    if len(args) >= 4 and args[3] is not None:
+        arg = args[0] if args[0] is not None else gen.unknown_object("qsort", line)
+        gen.builder.call_indirect(args[3], [arg, arg], ret=None)
+    return None
+
+
+DEFAULT_STUBS["qsort"] = _qsort

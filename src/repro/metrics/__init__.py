@@ -1,0 +1,10 @@
+"""Measurement and reporting utilities for the benchmark harness."""
+
+from repro.metrics.reporting import (
+    Table,
+    format_ratio,
+    format_seconds,
+    geometric_mean,
+)
+
+__all__ = ["Table", "format_seconds", "format_ratio", "geometric_mean"]

@@ -1,0 +1,75 @@
+"""Protocol shared by all points-to set representations."""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class PointsToSet(Protocol):
+    """A mutable set of abstract location ids.
+
+    Implementations must make ``same_as`` cheap — it is the trigger
+    condition of Lazy Cycle Detection and runs on every propagation.
+    """
+
+    def add(self, loc: int) -> bool:
+        """Insert ``loc``; return ``True`` if it was new."""
+
+    def ior_and_test(self, other: "PointsToSet") -> bool:
+        """Union ``other`` into self; return ``True`` on change.
+
+        ``other`` is always from the same family.
+        """
+
+    def contains(self, loc: int) -> bool:
+        """Membership test."""
+
+    def same_as(self, other: "PointsToSet") -> bool:
+        """Set equality with another set of the same family."""
+
+    def copy(self) -> "PointsToSet":
+        """An independent copy."""
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate the member locations (ascending)."""
+
+    def __len__(self) -> int:
+        """Cardinality."""
+
+
+class PointsToFamily:
+    """Factory and accounting scope for one representation.
+
+    A *family* owns whatever shared state the representation needs (the BDD
+    family shares one manager across every set, which is where the memory
+    savings come from) and knows how to account memory for the sets it
+    made.
+    """
+
+    #: Short name used by the solver registry and the benchmarks.
+    name: str = "abstract"
+
+    def make(self) -> PointsToSet:
+        raise NotImplementedError
+
+    def memory_bytes(self) -> int:
+        """Total bytes attributable to the sets created by this family."""
+        raise NotImplementedError
+
+
+def make_family(kind: str, num_locs: int) -> PointsToFamily:
+    """Build a points-to family: ``"bitmap"`` or ``"bdd"``.
+
+    ``num_locs`` bounds the location ids the sets will hold (the BDD family
+    sizes its domain from it; the bitmap family ignores it).
+    """
+    # Imported here to avoid a cycle with the implementation modules.
+    from repro.points_to.bdd_set import BDDPointsToFamily
+    from repro.points_to.bitmap_set import BitmapPointsToFamily
+
+    if kind == "bitmap":
+        return BitmapPointsToFamily()
+    if kind == "bdd":
+        return BDDPointsToFamily(num_locs)
+    raise ValueError(f"unknown points-to representation {kind!r} (want 'bitmap' or 'bdd')")

@@ -1,0 +1,31 @@
+"""The constraint solvers.
+
+Five main algorithms (paper Section 5.1), each also composable with Hybrid
+Cycle Detection:
+
+=========  ===============================================================
+name       algorithm
+=========  ===============================================================
+naive      Figure 1: dynamic transitive closure, no cycle detection
+ht         Heintze & Tardieu: pre-transitive graph, reachability queries
+pkh        Pearce, Kelly & Hankin: periodic whole-graph cycle sweeps
+blq        Berndl et al.: BDD-relational solver, incrementalized
+lcd        Lazy Cycle Detection (this paper, Figure 2)
+hcd        Hybrid Cycle Detection standalone (this paper, Figure 5)
+=========  ===============================================================
+
+Use :func:`~repro.solvers.registry.make_solver` / ``solve`` with names like
+``"lcd+hcd"`` for the combined configurations of Table 3.
+"""
+
+from repro.solvers.base import BaseSolver, GraphSolver, SolverStats
+from repro.solvers.registry import available_solvers, make_solver, solve
+
+__all__ = [
+    "BaseSolver",
+    "GraphSolver",
+    "SolverStats",
+    "available_solvers",
+    "make_solver",
+    "solve",
+]

@@ -1,0 +1,365 @@
+"""Solver interface, statistics, and the shared HCD online machinery.
+
+Section 5.3 of the paper explains the algorithms' relative performance
+through three machine-independent counters, all tracked here:
+
+- **nodes collapsed** — variables merged away by cycle collapsing;
+- **nodes searched** — nodes visited by cycle-detection graph traversals
+  (pure overhead; HCD's headline property is that this is zero);
+- **propagations** — points-to set unions performed across constraint
+  edges (the most expensive operation in the analysis).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.solution import PointsToSolution
+from repro.constraints.model import ConstraintSystem
+from repro.graph.constraint_graph import ConstraintGraph
+from repro.points_to.interface import PointsToFamily, make_family
+from repro.datastructs.sparse_bitmap import SparseBitmap
+from repro.preprocess.hcd_offline import HCDOfflineResult, hcd_offline_analysis
+
+
+@dataclass
+class SolverStats:
+    """Counters and timings for one solver run."""
+
+    propagations: int = 0
+    nodes_searched: int = 0
+    nodes_collapsed: int = 0
+    cycles_collapsed: int = 0
+    edges_added: int = 0
+    lcd_triggers: int = 0
+    hcd_collapses: int = 0
+    iterations: int = 0
+    hcd_offline_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    pts_memory_bytes: int = 0
+    graph_memory_bytes: int = 0
+
+    @property
+    def total_memory_bytes(self) -> int:
+        return self.pts_memory_bytes + self.graph_memory_bytes
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "propagations": self.propagations,
+            "nodes_searched": self.nodes_searched,
+            "nodes_collapsed": self.nodes_collapsed,
+            "cycles_collapsed": self.cycles_collapsed,
+            "edges_added": self.edges_added,
+            "lcd_triggers": self.lcd_triggers,
+            "hcd_collapses": self.hcd_collapses,
+            "iterations": self.iterations,
+            "hcd_offline_seconds": self.hcd_offline_seconds,
+            "solve_seconds": self.solve_seconds,
+            "pts_memory_bytes": self.pts_memory_bytes,
+            "graph_memory_bytes": self.graph_memory_bytes,
+        }
+
+
+class BaseSolver:
+    """Common solver shell: naming, timing, stats, solution export."""
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    def __init__(
+        self,
+        system: ConstraintSystem,
+        pts: str = "bitmap",
+        hcd: bool = False,
+    ) -> None:
+        self.system = system
+        self.pts_kind = pts
+        self.hcd_enabled = hcd
+        self.stats = SolverStats()
+        self._solution: Optional[PointsToSolution] = None
+        self.hcd_offline: Optional[HCDOfflineResult] = None
+        if hcd:
+            self.hcd_offline = hcd_offline_analysis(system)
+            self.stats.hcd_offline_seconds = self.hcd_offline.offline_seconds
+
+    def solve(self) -> PointsToSolution:
+        """Run the analysis (idempotent) and return the solution."""
+        if self._solution is None:
+            start = time.perf_counter()
+            self._solution = self._run()
+            self.stats.solve_seconds = time.perf_counter() - start
+            self._account_memory()
+        return self._solution
+
+    def _run(self) -> PointsToSolution:
+        raise NotImplementedError
+
+    def _account_memory(self) -> None:
+        """Subclasses fill in ``pts_memory_bytes`` / ``graph_memory_bytes``."""
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.name}+hcd" if self.hcd_enabled else self.name
+
+
+class GraphSolver(BaseSolver):
+    """Base for the explicit constraint-graph solvers (naive/PKH/LCD/HCD).
+
+    Owns the :class:`ConstraintGraph`, the points-to family, and the
+    shared pieces of the worklist algorithms: complex-constraint
+    resolution, propagation along edges, cycle collapsing, and the HCD
+    pair lookup of Figure 5.
+    """
+
+    def __init__(
+        self,
+        system: ConstraintSystem,
+        pts: str = "bitmap",
+        hcd: bool = False,
+        worklist: str = "divided-lrf",
+        difference_propagation: bool = False,
+    ) -> None:
+        super().__init__(system, pts=pts, hcd=hcd)
+        self.worklist_strategy = worklist
+        #: Difference propagation (Pearce, Kelly & Hankin, SCAM 2003):
+        #: offer successors only the pointees they have not seen, except
+        #: over newly inserted edges, which carry the full set once.
+        self.difference_propagation = difference_propagation
+        self.family: PointsToFamily = make_family(pts, system.num_vars)
+        self.graph = ConstraintGraph(system, self.family)
+        #: HCD pair list L, keyed by current representative.
+        self._hcd_pairs: Dict[int, List[Tuple[int, int]]] = {}
+        #: Pointees already collapsed through a node's pairs (difference
+        #: processing, mirroring ConstraintGraph.complex_done).
+        self._hcd_done: Dict[int, "SparseBitmap"] = {}
+        if self.hcd_offline is not None:
+            for var, pairs in self.hcd_offline.pairs.items():
+                self._hcd_pairs.setdefault(var, []).extend(pairs)
+            # Copy-only offline SCCs collapse before solving starts.
+            for group in self.hcd_offline.direct_groups:
+                self.collapse_nodes(group)
+
+    # ------------------------------------------------------------------
+    # Collapsing
+    # ------------------------------------------------------------------
+
+    def collapse_nodes(self, members: Iterable[int], push=None) -> int:
+        """Collapse ``members`` into one node, keeping stats and the HCD
+        pair table coherent.  Returns the representative.
+
+        ``push`` re-queues the representative when the merge left
+        cross-resolution jobs behind (see
+        :attr:`ConstraintGraph.pending_complex`); callers inside the
+        solving loop must supply it.
+        """
+        member_list = list(members)
+        old_reps = {self.graph.find(m) for m in member_list}
+        rep, merged = self.graph.collapse(member_list)
+        if merged:
+            self.stats.nodes_collapsed += merged
+            self.stats.cycles_collapsed += 1
+            for old in old_reps:
+                if old != rep and old in self._hcd_pairs:
+                    self._hcd_pairs.setdefault(rep, []).extend(
+                        self._hcd_pairs.pop(old)
+                    )
+                    # The pair list changed: pointees must be re-examined
+                    # against the newly acquired pairs.
+                    self._hcd_done.pop(rep, None)
+                if old != rep:
+                    self._hcd_done.pop(old, None)
+            if self.graph.pending_complex[rep]:
+                if push is not None:
+                    push(rep)
+        return rep
+
+    # ------------------------------------------------------------------
+    # The Figure 5 check: preemptive collapse via the pair list L
+    # ------------------------------------------------------------------
+
+    def hcd_check(self, node: int, push) -> int:
+        """If ``(node, a)`` is in L, collapse a's partners with pts(node).
+
+        ``push`` is the worklist-insert callback; returns the (possibly
+        new) representative of ``node``.
+        """
+        pairs = self._hcd_pairs.get(node)
+        if not pairs:
+            return node
+        graph = self.graph
+        done = self._hcd_done.get(node)
+        if done is None:
+            done = self._hcd_done[node] = SparseBitmap()
+        fresh = [loc for loc in graph.pts_of(node) if loc not in done]
+        if not fresh:
+            return node
+        for offset, partner in list(pairs):
+            targets = []
+            for loc in fresh:
+                target = graph.offset_target(loc, offset)
+                if target is not None:
+                    targets.append(target)
+            if not targets:
+                continue
+            before = self.stats.nodes_collapsed
+            rep = self.collapse_nodes([partner, *targets], push)
+            if self.stats.nodes_collapsed > before:
+                # Something actually merged: the representative's state
+                # changed, so it must be reprocessed (Figure 5 pushes a).
+                self.stats.hcd_collapses += 1
+                push(rep)
+        node = graph.find(node)
+        if self._hcd_pairs.get(node) is pairs:
+            # Same pair list: these pointees are fully handled.  (If the
+            # collapse merged pair lists, the done-set was dropped and the
+            # pointees will be re-examined against the acquired pairs.)
+            done = self._hcd_done.get(node)
+            if done is None:
+                done = self._hcd_done[node] = SparseBitmap()
+            for loc in fresh:
+                done.add(loc)
+        return node
+
+    # ------------------------------------------------------------------
+    # Complex-constraint resolution (step 1 of the Figure 1 loop body)
+    # ------------------------------------------------------------------
+
+    def resolve_complex(self, node: int, push) -> None:
+        """Add edges demanded by the complex constraints indexed at ``node``.
+
+        For each pointee ``v`` of ``node``: loads ``dst = *(node+k)`` add
+        ``v+k -> dst`` and queue ``v+k``; stores ``*(node+k) = src`` add
+        ``src -> v+k`` and queue ``src`` (the new edge's source must
+        propagate).
+        """
+        graph = self.graph
+        pending = graph.pending_complex[node]
+        if pending:
+            graph.pending_complex[node] = []
+            for loads, stores, offs, locs in pending:
+                self._apply_complex(loads, stores, offs, locs, push)
+        loads = graph.loads[node]
+        stores = graph.stores[node]
+        offs = graph.offs[node]
+        if not loads and not stores and not offs:
+            return
+        done = graph.complex_done[node]
+        fresh = [loc for loc in graph.pts_of(node) if loc not in done]
+        if not fresh:
+            return
+        for loc in fresh:
+            done.add(loc)
+        self._apply_complex(loads, stores, offs, fresh, push)
+
+    def _apply_complex(self, loads, stores, offs, locs, push) -> None:
+        """Apply the complex constraints in ``loads``/``stores``/``offs``
+        to the pointees ``locs``: add demanded edges, and for the
+        offset-copy form feed shifted locations straight into the
+        destination's points-to set."""
+        graph = self.graph
+        find = graph.find
+        succ = graph.succ
+        max_offset = graph.system.max_offset
+        diff_prop = self.difference_propagation
+        edges_added = 0
+        for dst, offset in loads:
+            dst_rep = find(dst)
+            for loc in locs:
+                if offset:
+                    if max_offset[loc] < offset:
+                        continue
+                    source = find(loc + offset)
+                else:
+                    source = find(loc)
+                if source != dst_rep and succ[source].add(dst_rep):
+                    edges_added += 1
+                    if diff_prop:
+                        graph.fresh_edges[source].append(dst_rep)
+                    push(source)
+        for src, offset in stores:
+            src_rep = find(src)
+            for loc in locs:
+                if offset:
+                    if max_offset[loc] < offset:
+                        continue
+                    target = find(loc + offset)
+                else:
+                    target = find(loc)
+                if target != src_rep and succ[src_rep].add(target):
+                    edges_added += 1
+                    if diff_prop:
+                        graph.fresh_edges[src_rep].append(target)
+                    push(src_rep)
+        for dst, offset in offs:
+            dst_rep = find(dst)
+            dst_pts = graph.pts[dst_rep]
+            changed = False
+            for loc in locs:
+                if max_offset[loc] < offset:
+                    continue
+                self.stats.propagations += 1
+                if dst_pts.add(loc + offset):
+                    changed = True
+            if changed:
+                push(dst_rep)
+        self.stats.edges_added += edges_added
+
+    # ------------------------------------------------------------------
+    # Propagation (step 2 of the Figure 1 loop body)
+    # ------------------------------------------------------------------
+
+    def propagate(self, node: int, push) -> None:
+        """Propagate pts(node) to every successor; queue the changed ones."""
+        graph = self.graph
+        pts = graph.pts_of(node)
+        if not self.difference_propagation:
+            for succ in list(graph.successors(node)):
+                self.stats.propagations += 1
+                if graph.pts_of(succ).ior_and_test(pts):
+                    push(succ)
+            return
+
+        # Difference propagation: newly inserted edges get the full set
+        # once; everything else receives only the unseen delta.
+        node = graph.find(node)
+        fresh_edges = graph.fresh_edges[node]
+        if fresh_edges:
+            graph.fresh_edges[node] = []
+            offered = set()
+            for raw in fresh_edges:
+                succ = graph.find(raw)
+                if succ == node or succ in offered:
+                    continue
+                offered.add(succ)
+                self.stats.propagations += 1
+                if graph.pts_of(succ).ior_and_test(pts):
+                    push(succ)
+        prev = graph.prev_pts[node]
+        delta = [loc for loc in pts if loc not in prev]
+        if not delta:
+            return
+        delta_set = self.family.make()
+        for loc in delta:
+            prev.add(loc)
+            delta_set.add(loc)
+        for succ in list(graph.successors(node)):
+            self.stats.propagations += 1
+            if graph.pts_of(succ).ior_and_test(delta_set):
+                push(succ)
+
+    # ------------------------------------------------------------------
+    # Solution export and accounting
+    # ------------------------------------------------------------------
+
+    def _export_solution(self) -> PointsToSolution:
+        graph = self.graph
+        mapping = {
+            var: list(graph.pts_of(var)) for var in range(self.system.num_vars)
+        }
+        return PointsToSolution(mapping, self.system.num_vars, self.system.names)
+
+    def _account_memory(self) -> None:
+        self.stats.pts_memory_bytes = self.family.memory_bytes()
+        self.stats.graph_memory_bytes = self.graph.graph_memory_bytes()

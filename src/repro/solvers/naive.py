@@ -1,0 +1,38 @@
+"""The baseline dynamic transitive-closure solver (paper Figure 1).
+
+A plain worklist algorithm with **no cycle detection**: pull a node, add
+the edges its complex constraints demand, propagate its points-to set to
+its successors, repeat.  The paper notes that without cycle detection the
+larger benchmarks exhaust memory; the algorithm is nevertheless the
+semantic reference — every other solver must agree with it — and the
+correctness oracle for this repository's integration tests.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.solution import PointsToSolution
+from repro.datastructs.worklist import make_worklist
+from repro.solvers.base import GraphSolver
+
+
+class NaiveSolver(GraphSolver):
+    """Figure 1, verbatim (optionally HCD-augmented, which is Figure 5)."""
+
+    name = "naive"
+
+    def _run(self) -> PointsToSolution:
+        graph = self.graph
+        worklist = make_worklist(self.worklist_strategy)
+        for node in graph.rep_nodes():
+            if len(graph.pts_of(node)):
+                worklist.push(node)
+
+        while worklist:
+            node = graph.find(worklist.pop())
+            self.stats.iterations += 1
+            if self.hcd_enabled:
+                node = self.hcd_check(node, worklist.push)
+            self.resolve_complex(node, worklist.push)
+            self.propagate(node, worklist.push)
+
+        return self._export_solution()

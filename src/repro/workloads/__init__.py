@@ -1,0 +1,30 @@
+"""Benchmark workloads.
+
+The paper's evaluation runs on six open-source C programs (Table 2),
+from Emacs (169K LOC) to the Linux kernel (2.17M LOC).  Million-LOC
+constraint solving is out of reach for pure Python, so this package
+substitutes *profile-driven synthetic workloads*: for each benchmark,
+:mod:`~repro.workloads.profiles` records the paper's published constraint
+statistics (original and reduced counts, base/simple/complex mix) plus
+shape knobs (pointer fan-out, cycle density, indirect-call rate), and
+:mod:`~repro.workloads.synthetic` deterministically generates a
+constraint system with that mix at a configurable scale.  Every solver
+sees the identical input, so relative comparisons — the paper's actual
+claims — are preserved.
+
+:mod:`~repro.workloads.cgen` additionally generates random C-subset
+*source programs*, exercising the full front-end path end-to-end.
+"""
+
+from repro.workloads.cgen import generate_c_program
+from repro.workloads.profiles import BENCHMARK_ORDER, BENCHMARKS, WorkloadProfile, default_scale
+from repro.workloads.synthetic import generate_workload
+
+__all__ = [
+    "BENCHMARKS",
+    "BENCHMARK_ORDER",
+    "WorkloadProfile",
+    "default_scale",
+    "generate_workload",
+    "generate_c_program",
+]

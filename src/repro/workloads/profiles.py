@@ -1,0 +1,148 @@
+"""The six benchmark profiles of paper Table 2.
+
+Each profile carries the paper's published statistics verbatim (lines of
+code, original constraint count, reduced count and the reduced
+base/simple/complex breakdown) plus shape parameters chosen to reproduce
+the qualitative behaviour the paper reports:
+
+- ``fanout`` controls average points-to set size.  Wine's defining
+  feature (Section 5.2) is an average points-to set size an
+  order-of-magnitude above the others — its final constraint graph is
+  larger than Linux's despite fewer input constraints — so Wine's fanout
+  is much higher.
+- ``cycle_fraction`` controls how much of the copy-edge budget is spent
+  on deliberate cycles (what the cycle-detection algorithms feed on).
+- ``call_fraction`` is the share of complex constraints that are
+  indirect-call constraints (offset loads/stores).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Published stats + generator shape for one paper benchmark."""
+
+    name: str
+    loc: int  # paper lines of code
+    original_constraints: int  # Table 2 "Original Constraints"
+    reduced_constraints: int  # Table 2 "Reduced Constraints"
+    base: int  # Table 2 reduced-constraint breakdown
+    simple: int
+    complex: int
+    fanout: float  # average objects per base-holding pointer
+    cycle_fraction: float  # share of copy edges forming deliberate cycles
+    call_fraction: float  # share of complex budget spent on indirect calls
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Fraction of constraints OVS removed in the paper."""
+        return 1.0 - self.reduced_constraints / self.original_constraints
+
+    def scaled_counts(self, scale: float) -> Tuple[int, int, int]:
+        """(base, simple, complex) counts at the given scale."""
+        return (
+            max(8, round(self.base * scale)),
+            max(16, round(self.simple * scale)),
+            max(8, round(self.complex * scale)),
+        )
+
+
+BENCHMARKS: Dict[str, WorkloadProfile] = {
+    profile.name: profile
+    for profile in (
+        WorkloadProfile(
+            name="emacs",
+            loc=169_000,
+            original_constraints=83_213,
+            reduced_constraints=21_460,
+            base=4_088,
+            simple=11_095,
+            complex=6_277,
+            fanout=2.0,
+            cycle_fraction=0.08,
+            call_fraction=0.10,
+        ),
+        WorkloadProfile(
+            name="ghostscript",
+            loc=242_000,
+            original_constraints=169_312,
+            reduced_constraints=67_310,
+            base=12_154,
+            simple=25_880,
+            complex=29_276,
+            fanout=2.5,
+            cycle_fraction=0.10,
+            call_fraction=0.12,
+        ),
+        WorkloadProfile(
+            name="gimp",
+            loc=554_000,
+            original_constraints=411_783,
+            reduced_constraints=96_483,
+            base=17_083,
+            simple=43_878,
+            complex=35_522,
+            fanout=2.5,
+            cycle_fraction=0.10,
+            call_fraction=0.12,
+        ),
+        WorkloadProfile(
+            name="insight",
+            loc=603_000,
+            original_constraints=243_404,
+            reduced_constraints=85_375,
+            base=13_198,
+            simple=35_382,
+            complex=36_795,
+            fanout=2.5,
+            cycle_fraction=0.12,
+            call_fraction=0.12,
+        ),
+        WorkloadProfile(
+            name="wine",
+            loc=1_338_000,
+            original_constraints=713_065,
+            reduced_constraints=171_237,
+            base=39_166,
+            simple=62_499,
+            complex=69_572,
+            # Wine's hallmark: very large average points-to sets, making
+            # its *final* graph an order of magnitude bigger than Linux's.
+            fanout=8.0,
+            cycle_fraction=0.12,
+            call_fraction=0.10,
+        ),
+        WorkloadProfile(
+            name="linux",
+            loc=2_172_000,
+            original_constraints=574_788,
+            reduced_constraints=203_733,
+            base=25_678,
+            simple=77_936,
+            complex=100_119,
+            fanout=1.6,
+            cycle_fraction=0.10,
+            call_fraction=0.15,
+        ),
+    )
+}
+
+#: Order used throughout the paper's tables.
+BENCHMARK_ORDER = ["emacs", "ghostscript", "gimp", "insight", "wine", "linux"]
+
+
+def default_scale() -> float:
+    """Workload scale factor, overridable via ``REPRO_SCALE``.
+
+    ``REPRO_SCALE`` is the denominator: ``REPRO_SCALE=64`` (the default)
+    generates 1/64 of the paper's constraint counts.
+    """
+    denominator = float(os.environ.get("REPRO_SCALE", "64"))
+    if denominator <= 0:
+        raise ValueError("REPRO_SCALE must be positive")
+    return 1.0 / denominator

@@ -1,0 +1,84 @@
+"""Shared fixtures and path setup for the test suite."""
+
+import os
+import random
+import sys
+
+# Make the package importable even without an editable install (offline
+# environments may lack PEP 660 support).
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import pytest
+
+from repro.constraints.builder import ConstraintBuilder
+from repro.constraints.model import ConstraintSystem
+
+
+@pytest.fixture
+def simple_system() -> ConstraintSystem:
+    """The running example: p=&x; q=p; q=&y; r=*q; *q=p."""
+    b = ConstraintBuilder()
+    p, q, x, y, r = (b.var(n) for n in "pqxyr")
+    b.address_of(p, x)
+    b.assign(q, p)
+    b.address_of(q, y)
+    b.load(r, q)
+    b.store(q, p)
+    return b.build()
+
+
+@pytest.fixture
+def cycle_system() -> ConstraintSystem:
+    """A three-node copy cycle seeded from one base constraint."""
+    b = ConstraintBuilder()
+    a, c, d, x = b.var("a"), b.var("c"), b.var("d"), b.var("x")
+    b.address_of(a, x)
+    b.assign(c, a)
+    b.assign(d, c)
+    b.assign(a, d)
+    return b.build()
+
+
+def random_system(seed: int, max_vars: int = 25, max_constraints: int = 60) -> ConstraintSystem:
+    """Seeded random constraint system, shared by the differential tests."""
+    rng = random.Random(seed)
+    b = ConstraintBuilder()
+    nvars = rng.randint(4, max_vars)
+    vs = [b.var(f"v{i}") for i in range(nvars)]
+    fns = []
+    for i in range(rng.randint(0, 2)):
+        fns.append(b.function(f"f{seed}_{i}", params=["a", "b"][: rng.randint(0, 2)]))
+    blocks = []
+    for i in range(rng.randint(0, 2)):
+        blocks.append(b.object_block(f"s{seed}_{i}", ["f0", "f1"][: rng.randint(1, 2)]))
+    for _ in range(rng.randint(5, max_constraints)):
+        kind = rng.choice(
+            ["base", "copy", "load", "store", "icall", "dcall", "gep", "bblock"]
+        )
+        a, c = rng.choice(vs), rng.choice(vs)
+        if kind == "base":
+            b.address_of(a, c)
+        elif kind == "copy":
+            b.assign(a, c)
+        elif kind == "load":
+            b.load(a, c)
+        elif kind == "store":
+            b.store(a, c)
+        elif kind == "icall" and fns:
+            fp = rng.choice(vs)
+            if rng.random() < 0.7:
+                b.address_of(fp, rng.choice(fns).node)
+            b.call_indirect(
+                fp, [rng.choice(vs) for _ in range(rng.randint(0, 2))], ret=rng.choice(vs)
+            )
+        elif kind == "dcall" and fns:
+            f = rng.choice(fns)
+            b.call_direct(f, [rng.choice(vs) for _ in range(len(f.params))], ret=rng.choice(vs))
+        elif kind == "gep" and blocks:
+            blk = rng.choice(blocks)
+            b.offset_assign(
+                rng.choice(vs), rng.choice(vs), rng.randint(1, len(blk.fields))
+            )
+        elif kind == "bblock" and blocks:
+            b.address_of(rng.choice(vs), rng.choice(blocks).node)
+    return b.build()

@@ -1,0 +1,159 @@
+"""Tests for finite-domain encoding over BDDs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.domain import Domain, DomainAllocator, bits_for
+from repro.bdd.manager import FALSE, TRUE
+from repro.bdd.ops import project, relation_count, relation_of, tuples_of
+
+
+class TestBitsFor:
+    @pytest.mark.parametrize(
+        "size,width", [(1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (256, 8), (257, 9)]
+    )
+    def test_widths(self, size, width):
+        assert bits_for(size) == width
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            bits_for(0)
+
+
+class TestAllocator:
+    def test_interleaved_layout(self):
+        alloc = DomainAllocator([("a", 4), ("b", 4)], interleave=True)
+        a, b = alloc["a"], alloc["b"]
+        assert a.width == b.width == 2
+        # Bit i of each domain adjacent: a0,b0,a1,b1.
+        assert a.levels == (0, 2)
+        assert b.levels == (1, 3)
+
+    def test_sequential_layout(self):
+        alloc = DomainAllocator([("a", 4), ("b", 8)], interleave=False)
+        assert alloc["a"].levels == (0, 1)
+        assert alloc["b"].levels == (2, 3, 4)
+
+    def test_interleave_pads_to_widest(self):
+        alloc = DomainAllocator([("a", 2), ("b", 256)], interleave=True)
+        assert alloc["a"].width == alloc["b"].width == 8
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            DomainAllocator([("a", 2), ("a", 2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DomainAllocator([])
+
+    def test_contains_and_domains(self):
+        alloc = DomainAllocator([("a", 2)])
+        assert "a" in alloc and "b" not in alloc
+        assert len(alloc.domains()) == 1
+
+
+class TestEncoding:
+    @pytest.fixture
+    def alloc(self):
+        return DomainAllocator([("d", 10), ("e", 10)], interleave=True)
+
+    def test_roundtrip(self, alloc):
+        d = alloc["d"]
+        for value in range(10):
+            node = d.encode(value)
+            assignments = list(alloc.manager.allsat(node, d.levels))
+            assert len(assignments) == 1
+            assert d.decode(assignments[0]) == value
+
+    def test_encode_out_of_range(self, alloc):
+        with pytest.raises(ValueError):
+            alloc["d"].encode(10)
+        with pytest.raises(ValueError):
+            alloc["d"].encode(-1)
+
+    def test_distinct_values_disjoint(self, alloc):
+        d = alloc["d"]
+        m = alloc.manager
+        assert m.apply_and(d.encode(3), d.encode(4)) == FALSE
+
+    def test_set_of_and_values(self, alloc):
+        d = alloc["d"]
+        node = d.set_of([1, 5, 9])
+        assert sorted(d.values(node)) == [1, 5, 9]
+        assert d.count(node) == 3
+
+    def test_set_of_empty(self, alloc):
+        assert alloc["d"].set_of([]) == FALSE
+
+    def test_equals_relation(self, alloc):
+        d, e = alloc["d"], alloc["e"]
+        m = alloc.manager
+        eq = d.equals(e)
+        pairs = set(tuples_of(eq, [d, e]))
+        # 16 bit patterns but only in-range tuples matter for the tests.
+        assert all(a == b for a, b in pairs)
+        assert (3, 3) in pairs
+
+    def test_replace_map(self, alloc):
+        d, e = alloc["d"], alloc["e"]
+        m = alloc.manager
+        moved = m.replace(d.encode(7), d.replace_map(e))
+        assert moved == e.encode(7)
+
+    def test_incompatible_width(self):
+        alloc = DomainAllocator([("a", 2), ("b", 300)], interleave=False)
+        with pytest.raises(ValueError):
+            alloc["a"].replace_map(alloc["b"])
+
+    def test_cross_manager_rejected(self):
+        a1 = DomainAllocator([("a", 4)])
+        a2 = DomainAllocator([("a", 4)])
+        with pytest.raises(ValueError):
+            a1["a"].equals(a2["a"])
+
+
+class TestRelations:
+    @pytest.fixture
+    def alloc(self):
+        return DomainAllocator([("s", 8), ("t", 8)], interleave=True)
+
+    def test_relation_roundtrip(self, alloc):
+        s, t = alloc["s"], alloc["t"]
+        pairs = {(0, 1), (3, 2), (7, 7)}
+        rel = relation_of(pairs, [s, t])
+        assert set(tuples_of(rel, [s, t])) == pairs
+        assert relation_count(rel, [s, t]) == 3
+
+    def test_relation_arity_check(self, alloc):
+        with pytest.raises(ValueError):
+            relation_of([(1, 2, 3)], [alloc["s"], alloc["t"]])
+
+    def test_project(self, alloc):
+        s, t = alloc["s"], alloc["t"]
+        rel = relation_of([(0, 1), (0, 2), (5, 1)], [s, t])
+        sources = project(rel, s, [t])
+        assert sorted(s.values(sources)) == [0, 5]
+
+    @given(st.sets(st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=20))
+    @settings(max_examples=60)
+    def test_relation_roundtrip_property(self, pairs):
+        alloc = DomainAllocator([("s", 8), ("t", 8)], interleave=True)
+        rel = relation_of(pairs, [alloc["s"], alloc["t"]])
+        assert set(tuples_of(rel, [alloc["s"], alloc["t"]])) == pairs
+
+    @given(
+        st.sets(st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=15),
+        st.sets(st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=15),
+    )
+    @settings(max_examples=60)
+    def test_relational_join_matches_set_semantics(self, r1, r2):
+        """relprod over the shared column == relational composition."""
+        alloc = DomainAllocator([("a", 8), ("b", 8), ("c", 8)], interleave=True)
+        a, b, c = alloc["a"], alloc["b"], alloc["c"]
+        m = alloc.manager
+        rel_ab = relation_of(r1, [a, b])
+        rel_bc = relation_of({(y, z) for y, z in r2}, [b, c])
+        joined = m.relprod(rel_ab, rel_bc, b.levels)
+        expected = {(x, z) for x, y in r1 for y2, z in r2 if y == y2}
+        assert set(tuples_of(joined, [a, c])) == expected

@@ -1,0 +1,274 @@
+"""Tests for the BDD manager: canonicity, connectives, quantification."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.manager import FALSE, TRUE, BDDManager
+
+
+@pytest.fixture
+def manager():
+    m = BDDManager()
+    m.add_vars(4)
+    return m
+
+
+def brute_force(manager, node, n_vars):
+    """Truth table of ``node`` over variables 0..n_vars-1."""
+    table = []
+    for bits in itertools.product([False, True], repeat=n_vars):
+        assignment = dict(enumerate(bits))
+        table.append(manager.evaluate(node, assignment))
+    return table
+
+
+class TestConstruction:
+    def test_terminals(self, manager):
+        assert FALSE == 0 and TRUE == 1
+        assert manager.evaluate(TRUE, {}) is True
+        assert manager.evaluate(FALSE, {}) is False
+
+    def test_var(self, manager):
+        x = manager.var(0)
+        assert manager.evaluate(x, {0: True}) is True
+        assert manager.evaluate(x, {0: False}) is False
+
+    def test_var_out_of_range(self, manager):
+        with pytest.raises(ValueError):
+            manager.var(99)
+        with pytest.raises(ValueError):
+            manager.nvar(-1)
+
+    def test_nvar(self, manager):
+        nx = manager.nvar(1)
+        assert manager.evaluate(nx, {1: False}) is True
+
+    def test_hash_consing(self, manager):
+        assert manager.var(0) == manager.var(0)
+        a = manager.apply_and(manager.var(0), manager.var(1))
+        b = manager.apply_and(manager.var(0), manager.var(1))
+        assert a == b
+
+    def test_reduction_rule(self, manager):
+        # mk with identical children must not create a node.
+        x = manager.var(0)
+        assert manager.mk(1, x, x) == x
+
+    def test_dag_size(self, manager):
+        x = manager.var(0)
+        assert manager.dag_size(x) == 3  # node + two terminals
+        assert manager.dag_size(TRUE) == 2
+
+
+class TestConnectives:
+    def test_and_or_not_truth_tables(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        for fx in (False, True):
+            for fy in (False, True):
+                env = {0: fx, 1: fy}
+                assert manager.evaluate(manager.apply_and(x, y), env) == (fx and fy)
+                assert manager.evaluate(manager.apply_or(x, y), env) == (fx or fy)
+                assert manager.evaluate(manager.apply_xor(x, y), env) == (fx != fy)
+                assert manager.evaluate(manager.apply_diff(x, y), env) == (fx and not fy)
+        assert manager.evaluate(manager.negate(x), {0: False}) is True
+
+    def test_terminal_shortcuts(self, manager):
+        x = manager.var(0)
+        assert manager.apply_and(x, FALSE) == FALSE
+        assert manager.apply_and(x, TRUE) == x
+        assert manager.apply_or(x, TRUE) == TRUE
+        assert manager.apply_or(x, FALSE) == x
+        assert manager.apply_diff(x, x) == FALSE
+        assert manager.apply_xor(x, x) == FALSE
+        assert manager.negate(manager.negate(x)) == x
+
+    def test_ite(self, manager):
+        x, y, z = manager.var(0), manager.var(1), manager.var(2)
+        node = manager.ite(x, y, z)
+        for bits in itertools.product([False, True], repeat=3):
+            env = dict(enumerate(bits))
+            expected = bits[1] if bits[0] else bits[2]
+            assert manager.evaluate(node, env) == expected
+
+    def test_canonical_equality_means_semantic_equality(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        # De Morgan: !(x & y) == !x | !y
+        lhs = manager.negate(manager.apply_and(x, y))
+        rhs = manager.apply_or(manager.negate(x), manager.negate(y))
+        assert lhs == rhs
+
+
+class TestQuantification:
+    def test_exist_removes_variable(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        f = manager.apply_and(x, y)
+        g = manager.exist(f, [0])
+        assert 0 not in manager.support(g)
+        assert g == y
+
+    def test_exist_or_semantics(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        f = manager.apply_xor(x, y)  # satisfiable for some x whatever y is
+        assert manager.exist(f, [0]) == TRUE
+
+    def test_exist_empty_levels(self, manager):
+        x = manager.var(0)
+        assert manager.exist(x, []) == x
+
+    def test_relprod_equals_exist_of_and(self, manager):
+        x, y, z = manager.var(0), manager.var(1), manager.var(2)
+        f = manager.apply_or(manager.apply_and(x, y), z)
+        g = manager.apply_xor(y, z)
+        direct = manager.relprod(f, g, [1])
+        indirect = manager.exist(manager.apply_and(f, g), [1])
+        assert direct == indirect
+
+    def test_support(self, manager):
+        x, z = manager.var(0), manager.var(2)
+        f = manager.apply_and(x, z)
+        assert manager.support(f) == [0, 2]
+        assert manager.support(TRUE) == []
+
+
+class TestReplace:
+    def test_replace_renames(self, manager):
+        x = manager.var(0)
+        y = manager.replace(x, {0: 2})
+        assert y == manager.var(2)
+
+    def test_replace_order_preserving_required(self, manager):
+        f = manager.apply_and(manager.var(0), manager.var(1))
+        with pytest.raises(ValueError):
+            manager.replace(f, {0: 3, 1: 2})  # crossing rename
+
+    def test_replace_push_down(self, manager):
+        # Renaming can move a variable past an unrenamed one; the rebuild
+        # must keep ordering: f = v0 & v1, rename v0 -> v2.
+        f = manager.apply_and(manager.var(0), manager.var(1))
+        g = manager.replace(f, {0: 2})
+        assert g == manager.apply_and(manager.var(2), manager.var(1))
+
+    def test_replace_empty_mapping(self, manager):
+        x = manager.var(0)
+        assert manager.replace(x, {}) == x
+
+
+class TestCounting:
+    def test_satcount(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        f = manager.apply_or(x, y)
+        assert manager.satcount(f, [0, 1]) == 3
+        assert manager.satcount(f, [0, 1, 2]) == 6  # free var doubles
+        assert manager.satcount(TRUE, [0, 1]) == 4
+        assert manager.satcount(FALSE, [0, 1]) == 0
+
+    def test_allsat(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        f = manager.apply_and(x, manager.negate(y))
+        sols = list(manager.allsat(f, [0, 1]))
+        assert sols == [{0: True, 1: False}]
+
+    def test_allsat_expands_free_vars(self, manager):
+        x = manager.var(0)
+        sols = list(manager.allsat(x, [0, 1]))
+        assert len(sols) == 2
+        assert all(s[0] is True for s in sols)
+
+
+boolean_exprs = st.recursive(
+    st.sampled_from(["v0", "v1", "v2", "T", "F"]),
+    lambda children: st.tuples(st.sampled_from(["and", "or", "xor", "diff"]), children, children),
+    max_leaves=12,
+)
+
+
+def build(manager, expr):
+    if expr == "T":
+        return TRUE
+    if expr == "F":
+        return FALSE
+    if isinstance(expr, str):
+        return manager.var(int(expr[1]))
+    op, lhs, rhs = expr
+    a = build(manager, lhs)
+    b = build(manager, rhs)
+    return {
+        "and": manager.apply_and,
+        "or": manager.apply_or,
+        "xor": manager.apply_xor,
+        "diff": manager.apply_diff,
+    }[op](a, b)
+
+
+def evaluate_expr(expr, env):
+    if expr == "T":
+        return True
+    if expr == "F":
+        return False
+    if isinstance(expr, str):
+        return env[int(expr[1])]
+    op, lhs, rhs = expr
+    a = evaluate_expr(lhs, env)
+    b = evaluate_expr(rhs, env)
+    return {
+        "and": a and b,
+        "or": a or b,
+        "xor": a != b,
+        "diff": a and not b,
+    }[op]
+
+
+class TestSemanticsProperty:
+    @given(boolean_exprs)
+    @settings(max_examples=150)
+    def test_bdd_matches_boolean_semantics(self, expr):
+        manager = BDDManager()
+        manager.add_vars(3)
+        node = build(manager, expr)
+        for bits in itertools.product([False, True], repeat=3):
+            env = dict(enumerate(bits))
+            assert manager.evaluate(node, env) == evaluate_expr(expr, env)
+
+    @given(boolean_exprs, boolean_exprs)
+    @settings(max_examples=80)
+    def test_canonicity(self, e1, e2):
+        """Semantically equal expressions share one node id."""
+        manager = BDDManager()
+        manager.add_vars(3)
+        n1, n2 = build(manager, e1), build(manager, e2)
+        same_semantics = all(
+            evaluate_expr(e1, dict(enumerate(bits)))
+            == evaluate_expr(e2, dict(enumerate(bits)))
+            for bits in itertools.product([False, True], repeat=3)
+        )
+        assert (n1 == n2) == same_semantics
+
+    @given(boolean_exprs, st.sampled_from([0, 1, 2]))
+    @settings(max_examples=80)
+    def test_exist_semantics(self, expr, level):
+        manager = BDDManager()
+        manager.add_vars(3)
+        node = build(manager, expr)
+        projected = manager.exist(node, [level])
+        for bits in itertools.product([False, True], repeat=3):
+            env = dict(enumerate(bits))
+            expected = any(
+                evaluate_expr(expr, {**env, level: value}) for value in (False, True)
+            )
+            assert manager.evaluate(projected, {**env, level: False}) == expected
+
+    @given(boolean_exprs)
+    @settings(max_examples=80)
+    def test_satcount_matches_enumeration(self, expr):
+        manager = BDDManager()
+        manager.add_vars(3)
+        node = build(manager, expr)
+        expected = sum(
+            evaluate_expr(expr, dict(enumerate(bits)))
+            for bits in itertools.product([False, True], repeat=3)
+        )
+        assert manager.satcount(node, [0, 1, 2]) == expected
+        assert len(list(manager.allsat(node, [0, 1, 2]))) == expected

@@ -1,0 +1,65 @@
+"""Smoke tests: every example script must run clean on small inputs."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+SRC_DIR = os.path.join(os.path.dirname(__file__), "..", "src")
+
+
+def run_example(name, *args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "OK" in result.stdout
+        assert "may_alias(p, q) = True" in result.stdout
+
+    def test_analyze_c_program(self):
+        result = run_example("analyze_c_program.py")
+        assert result.returncode == 0, result.stderr
+        assert "OK" in result.stdout
+        assert "devirtualizable" not in result.stdout.split("apply::op")[0]
+        assert "twice" in result.stdout and "square" in result.stdout
+
+    def test_solver_shootout(self):
+        result = run_example("solver_shootout.py", "emacs", "512")
+        assert result.returncode == 0, result.stderr
+        assert "all algorithms agree: OK" in result.stdout
+        assert "lcd+hcd" in result.stdout
+
+    def test_memory_tradeoff(self):
+        result = run_example("memory_tradeoff.py", "emacs", "512")
+        assert result.returncode == 0, result.stderr
+        assert "BDD representation" in result.stdout
+
+    def test_fuzz_frontend(self):
+        result = run_example("fuzz_frontend.py", "2")
+        assert result.returncode == 0, result.stderr
+        assert "OK" in result.stdout
+        assert "MISMATCH" not in result.stdout
+
+    def test_escape_and_modref(self):
+        result = run_example("escape_and_modref.py")
+        assert result.returncode == 0, result.stderr
+        assert "OK" in result.stdout
+        assert "main::leaked" in result.stdout
+
+    def test_field_modes(self):
+        result = run_example("field_modes.py")
+        assert result.returncode == 0, result.stderr
+        assert "OK" in result.stdout

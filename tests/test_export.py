@@ -1,0 +1,69 @@
+"""Tests for the JSON/dot export helpers."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    constraint_graph_dot,
+    solution_from_json,
+    solution_to_json,
+)
+from repro.solvers.registry import solve
+
+
+class TestJson:
+    def test_roundtrip(self, simple_system):
+        solution = solve(simple_system, "naive")
+        text = solution_to_json(simple_system, solution)
+        again = solution_from_json(text, simple_system)
+        assert again == solution
+
+    def test_shape(self, simple_system):
+        solution = solve(simple_system, "naive")
+        data = json.loads(solution_to_json(simple_system, solution))
+        assert data["num_vars"] == simple_system.num_vars
+        assert data["points_to"]["q"] == ["x", "y"]
+        assert "r" in data["points_to"]
+
+    def test_include_empty(self):
+        from repro.constraints.builder import ConstraintBuilder
+
+        b = ConstraintBuilder()
+        p, x = b.var("p"), b.var("x")
+        b.address_of(p, x)
+        b.var("untouched")
+        system = b.build()
+        solution = solve(system, "naive")
+        sparse = json.loads(solution_to_json(system, solution))
+        dense = json.loads(solution_to_json(system, solution, include_empty=True))
+        assert len(dense["points_to"]) == system.num_vars
+        assert len(sparse["points_to"]) < system.num_vars
+        assert dense["points_to"]["untouched"] == []
+
+    def test_compact_indent(self, simple_system):
+        solution = solve(simple_system, "naive")
+        text = solution_to_json(simple_system, solution, indent=None)
+        assert "\n" not in text
+
+
+class TestDot:
+    def test_contains_all_edge_kinds(self, simple_system):
+        dot = constraint_graph_dot(simple_system)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert "style=bold" in dot  # base
+        assert "style=dashed" in dot  # load
+        assert "style=dotted" in dot  # store
+
+    def test_solution_annotations(self, simple_system):
+        solution = solve(simple_system, "naive")
+        dot = constraint_graph_dot(simple_system, solution)
+        assert "\\n{" in dot
+
+    def test_truncation(self):
+        from repro.workloads import generate_workload
+
+        system = generate_workload("emacs", scale=1 / 256, seed=1)
+        dot = constraint_graph_dot(system, max_nodes=10)
+        assert "truncated" in dot

@@ -1,0 +1,507 @@
+"""Tests for AST -> constraint lowering: classic Andersen examples."""
+
+import pytest
+
+from repro.frontend.generator import generate_constraints
+from repro.solvers.registry import solve
+from repro.workloads.cgen import generate_c_program
+
+
+def analyze(source, algorithm="lcd+hcd"):
+    program = generate_constraints(source)
+    solution = solve(program.system, algorithm)
+    system = program.system
+
+    def pts(name):
+        return {system.name_of(l) for l in solution.points_to(program.node_of(name))}
+
+    return program, solution, pts
+
+
+class TestCoreIdioms:
+    def test_address_and_copy(self):
+        _, _, pts = analyze("int main() { int x; int *p = &x; int *q = p; }")
+        assert pts("main::p") == {"main::x"}
+        assert pts("main::q") == {"main::x"}
+
+    def test_store_and_load(self):
+        _, _, pts = analyze(
+            """
+            int main() {
+                int x, y;
+                int *p = &x;
+                int **pp = &p;
+                *pp = &y;        /* p gains y */
+                int *r = *pp;    /* r reads pts(p) */
+            }
+            """
+        )
+        assert pts("main::p") == {"main::x", "main::y"}
+        assert pts("main::r") == {"main::x", "main::y"}
+
+    def test_multi_level(self):
+        _, _, pts = analyze(
+            """
+            int main() {
+                int x;
+                int *p = &x;
+                int **pp = &p;
+                int ***ppp = &pp;
+                int *r = **ppp;
+            }
+            """
+        )
+        assert pts("main::r") == {"main::x"}
+
+    def test_globals(self):
+        _, _, pts = analyze("int g; int *gp = &g; int main() { int *l = gp; }")
+        assert pts("main::l") == {"g"}
+
+    def test_struct_field_insensitive(self):
+        _, _, pts = analyze(
+            """
+            struct s { int *a; int *b; };
+            int main() {
+                int x, y;
+                struct s v;
+                v.a = &x;
+                int *r = v.b;   /* field-insensitive: b aliases a */
+            }
+            """
+        )
+        assert pts("main::r") == {"main::x"}
+
+    def test_arrow_through_pointer(self):
+        _, _, pts = analyze(
+            """
+            struct node { struct node *next; };
+            int main() {
+                struct node n, m;
+                struct node *p = &n;
+                p->next = &m;
+                struct node *q = p->next;
+            }
+            """
+        )
+        assert pts("main::q") == {"main::m"}
+
+    def test_array_decay_and_index(self):
+        _, _, pts = analyze(
+            """
+            int main() {
+                int x, y;
+                int *arr[2] = { &x, &y };
+                int *e = arr[1];
+                int **pa = arr;
+                int *f = *pa;
+            }
+            """
+        )
+        assert pts("main::e") == {"main::x", "main::y"}
+        assert pts("main::f") == {"main::x", "main::y"}
+
+    def test_conditional_join(self):
+        _, _, pts = analyze(
+            "int main() { int x, y; int *p = 1 ? &x : &y; }"
+        )
+        assert pts("main::p") == {"main::x", "main::y"}
+
+    def test_pointer_arithmetic_stays_in_object(self):
+        _, _, pts = analyze("int main() { int a[4]; int *p = a + 2; p++; }")
+        assert pts("main::p") == {"main::a"}
+
+
+class TestCalls:
+    def test_direct_call_and_return(self):
+        _, _, pts = analyze(
+            """
+            int *identity(int *p) { return p; }
+            int main() { int x; int *r = identity(&x); }
+            """
+        )
+        assert pts("identity::p") == {"main::x"}
+        assert pts("main::r") == {"main::x"}
+
+    def test_function_pointer_call(self):
+        _, _, pts = analyze(
+            """
+            int *pick(int *a, int *b) { return b; }
+            int main() {
+                int x, y;
+                int *(*fp)(int *, int *) = &pick;
+                int *r = fp(&x, &y);
+            }
+            """
+        )
+        assert pts("main::r") == {"main::y"}
+        assert pts("main::fp") == {"pick"}
+
+    def test_function_name_without_ampersand(self):
+        _, _, pts = analyze(
+            """
+            int *f(int *a) { return a; }
+            int main() {
+                int x;
+                int *(*fp)(int *) = f;   /* decay without & */
+                int *r = fp(&x);
+            }
+            """
+        )
+        assert pts("main::r") == {"main::x"}
+
+    def test_call_order_independent(self):
+        """A call site before the callee's definition still resolves."""
+        _, _, pts = analyze(
+            """
+            int *helper(int *p);
+            int main() { int x; int *r = helper(&x); }
+            int *helper(int *p) { return p; }
+            """
+        )
+        assert pts("main::r") == {"main::x"}
+
+
+class TestHeapAndStubs:
+    def test_malloc_sites_distinct(self):
+        program, solution, pts = analyze(
+            """
+            int main() {
+                int *a = (int *) malloc(4);
+                int *b = (int *) malloc(4);
+            }
+            """
+        )
+        assert pts("main::a") != pts("main::b")
+        assert len(program.heap_nodes) == 2
+
+    def test_strdup_returns_heap(self):
+        program, _, pts = analyze(
+            'int main() { char *s = strdup("x"); }'
+        )
+        assert len(pts("main::s")) == 1
+        assert list(pts("main::s"))[0].startswith("heap@")
+
+    def test_memcpy_copies_pointees(self):
+        _, _, pts = analyze(
+            """
+            int main() {
+                int x;
+                int *src = &x;
+                int *dst;
+                memcpy(&dst, &src, 8);
+            }
+            """
+        )
+        assert pts("main::dst") == {"main::x"}
+
+    def test_strchr_returns_argument(self):
+        _, _, pts = analyze(
+            """
+            int main() {
+                char buf[8];
+                char *p = strchr(buf, 47);
+            }
+            """
+        )
+        assert pts("main::p") == {"main::buf"}
+
+    def test_unknown_extern_interned(self):
+        _, _, pts = analyze(
+            """
+            int main() {
+                char *a = mystery();
+                char *b = mystery();
+            }
+            """
+        )
+        assert pts("main::a") == pts("main::b") == {"<extern:mystery>"}
+
+    def test_string_literals_are_objects(self):
+        _, _, pts = analyze('int main() { char *s = "hello"; }')
+        assert len(pts("main::s")) == 1
+
+    def test_qsort_invokes_comparator(self):
+        _, _, pts = analyze(
+            """
+            int compare(int *a, int *b) { return 0; }
+            int main() {
+                int data[4];
+                qsort(data, 4, 4, &compare);
+            }
+            """
+        )
+        assert pts("compare::a") == {"main::data"}
+
+
+class TestScoping:
+    def test_shadowing(self):
+        _, _, pts = analyze(
+            """
+            int main() {
+                int x;
+                int *p = &x;
+                {
+                    int x;
+                    int *q = &x;
+                }
+            }
+            """
+        )
+        # Both pointers resolve, to different x objects.
+        assert pts("main::p") != set()
+
+    def test_two_functions_same_local_names(self):
+        _, _, pts = analyze(
+            """
+            void f() { int v; int *p = &v; }
+            void g() { int v; int *p = &v; }
+            """
+        )
+        assert pts("f::p") == {"f::v"}
+        assert pts("g::p") == {"g::v"}
+
+    def test_node_of_unknown_raises(self):
+        program, _, _ = analyze("int main() { return 0; }")
+        with pytest.raises(KeyError):
+            program.node_of("nope")
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 7, 11])
+    def test_generated_programs_parse_and_agree(self, seed):
+        source = generate_c_program(seed=seed)
+        program = generate_constraints(source)
+        reference = solve(program.system, "naive")
+        for algorithm in ("lcd+hcd", "ht", "pkh", "hcd"):
+            assert solve(program.system, algorithm) == reference, algorithm
+
+    def test_generated_program_is_deterministic(self):
+        assert generate_c_program(seed=5) == generate_c_program(seed=5)
+        assert generate_c_program(seed=5) != generate_c_program(seed=6)
+
+    def test_callgraph_from_generated_program(self):
+        from repro.analysis import build_call_graph
+
+        source = generate_c_program(seed=4)
+        program = generate_constraints(source)
+        solution = solve(program.system, "lcd+hcd")
+        graph = build_call_graph(program.system, solution)
+        # gfp is always assigned at least one function in main.
+        assert graph.edge_count >= 1
+
+
+class TestFieldBased:
+    """Footnote 2: the field-based variant (each field name one variable)."""
+
+    SOURCE = """
+    struct s { int *f; int *g; };
+    int main() {
+        int x;
+        struct s a, b;
+        a.f = &x;
+        int *r1 = b.f;   /* field-based: aliases a.f */
+        int *r2 = a.g;   /* field-based: g distinct from f */
+        return 0;
+    }
+    """
+
+    def test_field_based_unifies_same_field(self):
+        program = generate_constraints(self.SOURCE, field_mode="based")
+        solution = solve(program.system, "lcd+hcd")
+        system = program.system
+        r1 = solution.points_to(program.node_of("main::r1"))
+        assert {system.name_of(l) for l in r1} == {"main::x"}
+
+    def test_field_based_separates_fields(self):
+        program = generate_constraints(self.SOURCE, field_mode="based")
+        solution = solve(program.system, "lcd+hcd")
+        assert solution.points_to(program.node_of("main::r2")) == frozenset()
+
+    def test_field_insensitive_is_per_object(self):
+        program = generate_constraints(self.SOURCE, field_mode="insensitive")
+        solution = solve(program.system, "lcd+hcd")
+        system = program.system
+        r2 = solution.points_to(program.node_of("main::r2"))
+        assert {system.name_of(l) for l in r2} == {"main::x"}
+        assert solution.points_to(program.node_of("main::r1")) == frozenset()
+
+    def test_field_based_reduces_dereferences(self):
+        """The paper: field-based decreases the number of dereferenced
+        variables, a key performance indicator."""
+        source = """
+        struct s { int *f; };
+        int main() {
+            struct s *p, *q;
+            int *a = p->f;
+            int *b = q->f;
+            p->f = a;
+            return 0;
+        }
+        """
+        insensitive = generate_constraints(source, field_mode="insensitive")
+        based = generate_constraints(source, field_mode="based")
+        assert len(based.system.dereferenced()) < len(
+            insensitive.system.dereferenced()
+        )
+
+    def test_unknown_mode_rejected(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            generate_constraints("int x;", field_mode="flow-sensitive")
+
+    def test_arrow_in_field_based(self):
+        source = """
+        struct s { int *f; };
+        int main() {
+            int x;
+            struct s n;
+            struct s *p = &n;
+            p->f = &x;
+            int *r = n.f;
+            return 0;
+        }
+        """
+        program = generate_constraints(source, field_mode="based")
+        solution = solve(program.system, "lcd+hcd")
+        r = solution.points_to(program.node_of("main::r"))
+        assert {program.system.name_of(l) for l in r} == {"main::x"}
+
+
+class TestFieldSensitive:
+    """The full Pearce et al. field-sensitive model (extension)."""
+
+    SOURCE = """
+    struct node { int v; struct node *next; int *data; };
+    struct pair { struct node inner; int *extra; };
+    struct node g1;
+
+    int main() {
+        int x, y;
+        struct node n;
+        struct node *p = &n;
+        n.data = &x;
+        p->next = &g1;
+        struct node *q = p->next;
+        int *r = n.data;
+        int **fa = &p->data;
+        *fa = &y;
+        struct pair pr;
+        pr.inner.data = &x;
+        int *r3 = pr.inner.data;
+        pr.extra = &y;
+        int *r4 = pr.extra;
+        return 0;
+    }
+    """
+
+    def analyze_sensitive(self, source=None):
+        program = generate_constraints(source or self.SOURCE, field_mode="sensitive")
+        solution = solve(program.system, "lcd+hcd")
+        system = program.system
+
+        def pts(name):
+            return {
+                system.name_of(l)
+                for l in solution.points_to(program.node_of(name))
+            }
+
+        return program, solution, pts
+
+    def test_fields_distinguished(self):
+        _, _, pts = self.analyze_sensitive()
+        assert pts("main::q") == {"g1"}          # only next-field flow
+        assert pts("main::r") == {"main::x", "main::y"}  # data-field flow
+
+    def test_field_address_gep(self):
+        _, _, pts = self.analyze_sensitive()
+        assert pts("main::fa") == {"main::n.data"}
+
+    def test_nested_embedded_struct(self):
+        _, _, pts = self.analyze_sensitive()
+        assert pts("main::r3") == {"main::x"}
+        assert pts("main::r4") == {"main::y"}
+
+    def test_heap_struct_via_cast(self):
+        program, _, pts = self.analyze_sensitive(
+            """
+            struct node { struct node *next; int *data; };
+            struct node g;
+            int main() {
+                int x;
+                struct node *h = (struct node *) malloc(16);
+                h->next = &g;
+                h->data = &x;
+                struct node *a = h->next;
+                int *b = h->data;
+                return 0;
+            }
+            """
+        )
+        assert pts("main::a") == {"g"}
+        assert pts("main::b") == {"main::x"}
+        assert len(program.system.object_blocks) >= 2  # g and the heap node
+
+    def test_union_fields_collapse(self):
+        _, _, pts = self.analyze_sensitive(
+            """
+            union u { int *a; int *b; };
+            int main() {
+                int x;
+                union u v;
+                v.a = &x;
+                int *r = v.b;   /* unions stay field-insensitive */
+                return 0;
+            }
+            """
+        )
+        assert pts("main::r") == {"main::x"}
+
+    def test_array_of_structs(self):
+        _, _, pts = self.analyze_sensitive(
+            """
+            struct s { int *f; int *g; };
+            int main() {
+                int x;
+                struct s arr[4];
+                arr[1].f = &x;
+                int *r = arr[2].f;   /* elements collapse, fields do not */
+                int *o = arr[0].g;
+                return 0;
+            }
+            """
+        )
+        assert pts("main::r") == {"main::x"}
+        assert pts("main::o") == set()
+
+    def test_sensitive_refines_insensitive(self):
+        """Field-sensitive points-to sets are never larger on shared names."""
+        sensitive_program = generate_constraints(self.SOURCE, field_mode="sensitive")
+        insensitive_program = generate_constraints(self.SOURCE, field_mode="insensitive")
+        sens = solve(sensitive_program.system, "naive")
+        insens = solve(insensitive_program.system, "naive")
+        # q is a plain pointer variable present in both encodings.
+        q_sens = {
+            sensitive_program.system.name_of(l)
+            for l in sens.points_to(sensitive_program.node_of("main::q"))
+        }
+        q_insens = {
+            insensitive_program.system.name_of(l)
+            for l in insens.points_to(insensitive_program.node_of("main::q"))
+        }
+        assert q_sens <= q_insens
+
+    def test_all_solvers_agree_sensitive(self):
+        from repro.solvers.registry import available_solvers
+
+        program = generate_constraints(self.SOURCE, field_mode="sensitive")
+        reference = solve(program.system, "naive")
+        for algorithm in available_solvers():
+            assert solve(program.system, algorithm) == reference, algorithm
+
+    def test_steensgaard_sound_on_sensitive(self):
+        program = generate_constraints(self.SOURCE, field_mode="sensitive")
+        andersen = solve(program.system, "naive")
+        steens = solve(program.system, "steensgaard")
+        for var in range(program.system.num_vars):
+            assert andersen.points_to(var) <= steens.points_to(var), var

@@ -1,0 +1,104 @@
+"""Tests for the C-subset lexer."""
+
+import pytest
+
+from repro.frontend.lexer import LexError, Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifiers_and_keywords(self):
+        assert kinds("int foo _bar x9") == [
+            (TokenKind.KEYWORD, "int"),
+            (TokenKind.IDENT, "foo"),
+            (TokenKind.IDENT, "_bar"),
+            (TokenKind.IDENT, "x9"),
+        ]
+
+    def test_integers(self):
+        assert kinds("0 42 0x1F 10u 7L") == [
+            (TokenKind.INT, "0"),
+            (TokenKind.INT, "42"),
+            (TokenKind.INT, "0x1F"),
+            (TokenKind.INT, "10u"),
+            (TokenKind.INT, "7L"),
+        ]
+
+    def test_floats(self):
+        texts = [t for k, t in kinds("3.14 1e10 2.5e-3 .5f")]
+        assert texts == ["3.14", "1e10", "2.5e-3", ".5f"]
+        assert all(k is TokenKind.FLOAT for k, _ in kinds("3.14 1e10 2.5e-3 .5f"))
+
+    def test_char_and_string(self):
+        assert kinds(r"'a' '\n' " + r'"hi\"there"') == [
+            (TokenKind.CHAR, "'a'"),
+            (TokenKind.CHAR, r"'\n'"),
+            (TokenKind.STRING, r'"hi\"there"'),
+        ]
+
+    def test_operators_maximal_munch(self):
+        source = "a<<=b ... ->++ -- <= >= == != && || +="
+        texts = [t for _, t in kinds(source)]
+        assert "<<=" in texts
+        assert "..." in texts
+        assert "->" in texts
+        assert "++" in texts and "--" in texts
+
+    def test_arrow_not_minus_gt(self):
+        assert [t for _, t in kinds("p->f")] == ["p", "->", "f"]
+
+
+class TestTrivia:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [
+            (TokenKind.IDENT, "a"),
+            (TokenKind.IDENT, "b"),
+        ]
+
+    def test_block_comment_tracks_lines(self):
+        tokens = tokenize("a /* x\ny */ b")
+        assert tokens[1].line == 2
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")
+
+    def test_preprocessor_lines_skipped(self):
+        assert kinds("#include <stdio.h>\nint x;") == [
+            (TokenKind.KEYWORD, "int"),
+            (TokenKind.IDENT, "x"),
+            (TokenKind.OP, ";"),
+        ]
+
+    def test_positions(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"never closed')
+
+    def test_newline_in_string(self):
+        with pytest.raises(LexError):
+            tokenize('"line\nbreak"')
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("int @ x;")
+        assert excinfo.value.line == 1
+
+    def test_error_position_reported(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("ok\n   @")
+        assert excinfo.value.line == 2

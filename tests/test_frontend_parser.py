@@ -1,0 +1,240 @@
+"""Tests for the C-subset parser."""
+
+import pytest
+
+from repro.frontend import cast as ast
+from repro.frontend.parser import ParseError, parse_translation_unit
+
+
+def parse_expr(text):
+    unit = parse_translation_unit(f"void f() {{ {text}; }}")
+    stmt = unit.functions[0].body.body[0]
+    assert isinstance(stmt, ast.ExprStmt)
+    return stmt.expr
+
+
+class TestDeclarations:
+    def test_global_variable(self):
+        unit = parse_translation_unit("int x;")
+        assert unit.globals[0].name == "x"
+        assert unit.globals[0].type.base == "int"
+
+    def test_pointer_depth(self):
+        unit = parse_translation_unit("int ***x;")
+        assert unit.globals[0].type.pointer_depth == 3
+
+    def test_array(self):
+        unit = parse_translation_unit("int *a[10];")
+        decl = unit.globals[0]
+        assert decl.type.is_array
+        assert decl.type.pointer_depth == 1
+
+    def test_initializer(self):
+        unit = parse_translation_unit("int x = 3;")
+        assert isinstance(unit.globals[0].init, ast.IntLiteral)
+
+    def test_brace_initializer(self):
+        unit = parse_translation_unit("int *a[2] = { &x, &y };")
+        assert len(unit.globals[0].init_list) == 2
+
+    def test_multiple_declarators(self):
+        unit = parse_translation_unit("int a, *b, c;")
+        assert [d.name for d in unit.globals] == ["a", "b", "c"]
+        assert unit.globals[1].type.pointer_depth == 1
+
+    def test_static_extern(self):
+        unit = parse_translation_unit("static int a; extern int b;")
+        assert unit.globals[0].is_static
+        assert unit.globals[1].is_extern
+
+    def test_struct_definition(self):
+        unit = parse_translation_unit("struct node { int v; struct node *next; };")
+        struct = unit.structs[0]
+        assert struct.name == "node"
+        assert [f.name for f in struct.fields] == ["v", "next"]
+        assert struct.fields[1].type.pointer_depth == 1
+
+    def test_struct_with_declarator(self):
+        unit = parse_translation_unit("struct pair { int a; } p;")
+        assert unit.structs[0].name == "pair"
+        assert unit.globals[0].name == "p"
+
+    def test_union(self):
+        unit = parse_translation_unit("union u { int a; char *s; };")
+        assert unit.structs[0].is_union
+
+    def test_enum_skipped(self):
+        unit = parse_translation_unit("enum color { RED, GREEN };")
+        assert unit.structs == [] and unit.globals == []
+
+    def test_function_pointer_global(self):
+        unit = parse_translation_unit("int (*handler)(int, int);")
+        decl = unit.globals[0]
+        assert decl.name == "handler"
+        assert decl.type.pointer_depth >= 1
+
+    def test_typedef_rejected(self):
+        with pytest.raises(ParseError):
+            parse_translation_unit("typedef int myint;")
+
+
+class TestFunctions:
+    def test_definition(self):
+        unit = parse_translation_unit("int *f(int a, char **argv) { return 0; }")
+        fn = unit.functions[0]
+        assert fn.name == "f"
+        assert fn.return_type.pointer_depth == 1
+        assert [p.name for p in fn.params] == ["a", "argv"]
+        assert fn.params[1].type.pointer_depth == 2
+        assert fn.body is not None
+
+    def test_prototype(self):
+        unit = parse_translation_unit("void g(int);")
+        assert unit.functions[0].body is None
+
+    def test_void_params(self):
+        unit = parse_translation_unit("int f(void) { return 1; }")
+        assert unit.functions[0].params == []
+
+    def test_varargs_prototype(self):
+        unit = parse_translation_unit("int printf(char *fmt, ...);")
+        assert unit.functions[0].is_varargs
+
+    def test_static_function(self):
+        unit = parse_translation_unit("static void f() {}")
+        assert unit.functions[0].is_static
+
+
+class TestStatements:
+    def source(self, body):
+        return parse_translation_unit(f"void f() {{ {body} }}").functions[0].body.body
+
+    def test_if_else(self):
+        (stmt,) = self.source("if (x) y = 1; else y = 2;")
+        assert isinstance(stmt, ast.If)
+        assert stmt.otherwise is not None
+
+    def test_while(self):
+        (stmt,) = self.source("while (x) { y = 1; }")
+        assert isinstance(stmt, ast.While) and not stmt.is_do
+
+    def test_do_while(self):
+        (stmt,) = self.source("do { y = 1; } while (x);")
+        assert isinstance(stmt, ast.While) and stmt.is_do
+
+    def test_for_with_declaration(self):
+        (stmt,) = self.source("for (int i = 0; i < 10; i++) { }")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.Declaration)
+
+    def test_for_empty_clauses(self):
+        (stmt,) = self.source("for (;;) break;")
+        assert stmt.init is None and stmt.condition is None and stmt.step is None
+
+    def test_return_void(self):
+        (stmt,) = self.source("return;")
+        assert isinstance(stmt, ast.Return) and stmt.value is None
+
+    def test_switch_case_default(self):
+        (stmt,) = self.source("switch (x) { case 1: y = 1; default: y = 2; }")
+        assert isinstance(stmt, ast.Switch)
+        cases = stmt.body.body
+        assert isinstance(cases[0], ast.Case) and cases[0].value is not None
+        assert isinstance(cases[1], ast.Case) and cases[1].value is None
+
+    def test_goto_and_label(self):
+        stmts = self.source("top: x = 1; goto top;")
+        assert isinstance(stmts[0], ast.Label)
+        assert isinstance(stmts[1], ast.Goto)
+
+    def test_local_declaration_multi(self):
+        stmts = self.source("int a = 1, *b = 0;")
+        assert isinstance(stmts[0], ast.DeclGroup)  # grouped, no new scope
+        assert len(stmts[0].declarations) == 2
+
+    def test_empty_statement(self):
+        (stmt,) = self.source(";")
+        assert isinstance(stmt, ast.ExprStmt) and stmt.expr is None
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse_translation_unit("void f() { int x;")
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = parse_expr("a + b * c")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+    def test_associativity(self):
+        expr = parse_expr("a - b - c")
+        assert expr.op == "-" and isinstance(expr.left, ast.Binary)
+
+    def test_assignment_right_assoc(self):
+        expr = parse_expr("a = b = c")
+        assert isinstance(expr, ast.Assign)
+        assert isinstance(expr.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        expr = parse_expr("a += 1")
+        assert isinstance(expr, ast.Assign) and expr.op == "+="
+
+    def test_unary_chain(self):
+        expr = parse_expr("**p")
+        assert isinstance(expr, ast.Unary) and expr.op == "*"
+        assert isinstance(expr.operand, ast.Unary)
+
+    def test_address_of(self):
+        expr = parse_expr("&x")
+        assert isinstance(expr, ast.Unary) and expr.op == "&"
+
+    def test_conditional(self):
+        expr = parse_expr("a ? b : c")
+        assert isinstance(expr, ast.Conditional)
+
+    def test_call_with_args(self):
+        expr = parse_expr("f(a, b + 1)")
+        assert isinstance(expr, ast.Call) and len(expr.args) == 2
+
+    def test_call_through_pointer(self):
+        expr = parse_expr("(*fp)(a)")
+        assert isinstance(expr, ast.Call)
+        assert isinstance(expr.callee, ast.Unary)
+
+    def test_index_and_member(self):
+        expr = parse_expr("a[1].f->g")
+        assert isinstance(expr, ast.Member) and expr.arrow
+        assert isinstance(expr.base, ast.Member) and not expr.base.arrow
+        assert isinstance(expr.base.base, ast.Index)
+
+    def test_cast(self):
+        expr = parse_expr("(char *) p")
+        assert isinstance(expr, ast.Cast)
+        assert expr.type.pointer_depth == 1
+
+    def test_sizeof_type_and_expr(self):
+        assert isinstance(parse_expr("sizeof(int)"), ast.SizeOf)
+        expr = parse_expr("sizeof x")
+        assert isinstance(expr, ast.SizeOf) and expr.operand is not None
+
+    def test_comma(self):
+        expr = parse_expr("a = 1, b = 2")
+        assert isinstance(expr, ast.Comma) and len(expr.parts) == 2
+
+    def test_string_concatenation(self):
+        expr = parse_expr('"a" "b"')
+        assert isinstance(expr, ast.StringLiteral)
+        assert '"a"' in expr.text and '"b"' in expr.text
+
+    def test_postfix_incr(self):
+        expr = parse_expr("p++")
+        assert isinstance(expr, ast.Unary) and expr.postfix
+
+    def test_parenthesized(self):
+        expr = parse_expr("(a + b) * c")
+        assert expr.op == "*"
+
+    def test_error_has_position(self):
+        with pytest.raises(ParseError):
+            parse_expr("a +")

@@ -1,0 +1,127 @@
+"""Tests for the HCD offline analysis (Section 4.2, Figure 3)."""
+
+from repro.constraints.builder import ConstraintBuilder
+from repro.preprocess.hcd_offline import hcd_offline_analysis
+
+
+class TestPaperExample:
+    def test_figure3(self):
+        """The paper's running example: a=&c; d=c; b=*a; *a=b.
+
+        The offline graph puts *a and b in a cycle, so L must contain the
+        tuple (a, b).
+        """
+        b = ConstraintBuilder()
+        va, vb, vc, vd = b.var("a"), b.var("b"), b.var("c"), b.var("d")
+        b.address_of(va, vc)
+        b.assign(vd, vc)
+        b.load(vb, va)  # b = *a
+        b.store(va, vb)  # *a = b
+        result = hcd_offline_analysis(b.build())
+        assert result.pairs == {va: [(0, vb)]}
+        assert result.direct_groups == []
+        assert result.pair_count == 1
+
+
+class TestDirectSCCs:
+    def test_copy_cycle_collapsible_offline(self):
+        b = ConstraintBuilder()
+        x, y, z = b.var("x"), b.var("y"), b.var("z")
+        b.assign(y, x)
+        b.assign(z, y)
+        b.assign(x, z)
+        result = hcd_offline_analysis(b.build())
+        assert result.direct_groups == [[x, y, z]]
+        assert result.pairs == {}
+
+    def test_chain_produces_nothing(self):
+        b = ConstraintBuilder()
+        x, y, z = b.var("x"), b.var("y"), b.var("z")
+        b.assign(y, x)
+        b.assign(z, y)
+        result = hcd_offline_analysis(b.build())
+        assert result.direct_groups == []
+        assert result.pairs == {}
+
+    def test_base_constraints_ignored(self):
+        b = ConstraintBuilder()
+        x, y = b.var("x"), b.var("y")
+        b.address_of(x, y)
+        b.address_of(y, x)
+        result = hcd_offline_analysis(b.build())
+        assert result.direct_groups == []
+        assert result.pairs == {}
+
+    def test_self_copy_not_a_cycle(self):
+        b = ConstraintBuilder()
+        x = b.var("x")
+        b.assign(x, x)
+        result = hcd_offline_analysis(b.build())
+        assert result.direct_groups == []
+
+
+class TestRefSCCs:
+    def test_ref_cycle_through_two_directs(self):
+        # c = *a ; d = c ; *a = d  — cycle ref(a) -> c -> d -> ref(a).
+        b = ConstraintBuilder()
+        va, vc, vd = b.var("a"), b.var("c"), b.var("d")
+        b.load(vc, va)
+        b.assign(vd, vc)
+        b.store(va, vd)
+        result = hcd_offline_analysis(b.build())
+        assert va in result.pairs
+        (offset, partner) = result.pairs[va][0]
+        assert offset == 0
+        assert partner in (vc, vd)
+
+    def test_offsets_tracked_per_ref(self):
+        # load/store through a+1 forming the ref cycle at offset 1.
+        b = ConstraintBuilder()
+        f = b.function("f", params=[])
+        va, vc = b.var("a"), b.var("c")
+        b.load(vc, va, offset=1)
+        b.store(va, vc, offset=1)
+        result = hcd_offline_analysis(b.build())
+        assert result.pairs[va] == [(1, vc)]
+
+    def test_multi_ref_scc_certification(self):
+        """Two refs in one SCC: each is certified independently.
+
+        b = *a; *e = b; c = *e; *a = c builds the SCC
+        ref(a) -> b -> ref(e) -> c -> ref(a).  Removing either ref breaks
+        the cycle, so no pair may be emitted for either (collapsing would
+        be unsound if one pointer stays empty).
+        """
+        builder = ConstraintBuilder()
+        va, vb, vc, ve = (builder.var(n) for n in "abce")
+        builder.load(vb, va)  # ref(a) -> b
+        builder.store(ve, vb)  # b -> ref(e)
+        builder.load(vc, ve)  # ref(e) -> c
+        builder.store(va, vc)  # c -> ref(a)
+        result = hcd_offline_analysis(builder.build())
+        assert result.pairs == {}
+
+    def test_multi_ref_scc_with_direct_subcycle(self):
+        """A multi-ref SCC where one ref still cycles without the other.
+
+        ref(a) <-> b is a self-contained cycle; e's ref joins the SCC via
+        b but needs ref(a) to get back, so only (a, b) is certified.
+        """
+        builder = ConstraintBuilder()
+        va, vb, ve = builder.var("a"), builder.var("b"), builder.var("e")
+        builder.load(vb, va)  # ref(a) -> b
+        builder.store(va, vb)  # b -> ref(a)
+        builder.store(ve, vb)  # b -> ref(e)
+        builder.load(vb, ve)  # ref(e) -> b  (joins the same SCC)
+        result = hcd_offline_analysis(builder.build())
+        assert va in result.pairs
+        assert result.pairs[va] == [(0, vb)]
+        assert ve in result.pairs  # ref(e) <-> b is itself a 2-cycle
+        assert result.pairs[ve] == [(0, vb)]
+
+    def test_offline_time_recorded(self):
+        b = ConstraintBuilder()
+        x = b.var("x")
+        b.load(x, x)
+        result = hcd_offline_analysis(b.build())
+        assert result.offline_seconds >= 0.0

@@ -1,0 +1,82 @@
+"""Tests for reporting helpers and memory accounting."""
+
+import pytest
+
+from repro.metrics.memory import scale_to_paper, to_megabytes
+from repro.metrics.reporting import Table, format_ratio, format_seconds, geometric_mean
+from repro.solvers.registry import make_solver
+from repro.workloads import generate_workload
+
+
+class TestFormatting:
+    def test_format_seconds(self):
+        assert format_seconds(1388.5111) == "1,388.51"
+        assert format_seconds(0.05) == "0.05"
+
+    def test_format_ratio(self):
+        assert format_ratio(3.2) == "3.2x"
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, 4.0]) == pytest.approx(4.0)
+
+    def test_to_megabytes(self):
+        assert to_megabytes(1024 * 1024) == 1.0
+
+    def test_scale_to_paper(self):
+        assert scale_to_paper(1024 * 1024, 0.5) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            scale_to_paper(1, 0)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("demo", ["alg", "time"])
+        table.add_row(["lcd", 1.25])
+        table.add_row(["hcd", None])
+        text = table.render()
+        assert "demo" in text
+        assert "lcd" in text
+        assert "1.25" in text
+        assert "-" in text  # None cell
+
+    def test_int_thousands(self):
+        table = Table("t", ["n"])
+        table.add_row([1234567])
+        assert "1,234,567" in table.render()
+
+    def test_row_arity_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+
+class TestMemoryAccounting:
+    @pytest.fixture(scope="class")
+    def solved(self):
+        system = generate_workload("emacs", scale=1 / 256, seed=1)
+        solvers = {}
+        for algorithm, pts in [("lcd", "bitmap"), ("lcd", "bdd"), ("blq", "bdd")]:
+            solver = make_solver(system, algorithm, pts=pts)
+            solver.solve()
+            solvers[(algorithm, pts)] = solver
+        return solvers
+
+    def test_bitmap_memory_positive(self, solved):
+        stats = solved[("lcd", "bitmap")].stats
+        assert stats.pts_memory_bytes > 0
+        assert stats.graph_memory_bytes > 0
+        assert stats.total_memory_bytes == (
+            stats.pts_memory_bytes + stats.graph_memory_bytes
+        )
+
+    def test_bdd_representation_smaller(self, solved):
+        """Section 5.4's headline: BDD points-to sets use less memory."""
+        bitmap = solved[("lcd", "bitmap")].stats.pts_memory_bytes
+        bdd = solved[("lcd", "bdd")].stats.pts_memory_bytes
+        assert bdd < bitmap
+
+    def test_stats_as_dict_complete(self, solved):
+        d = solved[("blq", "bdd")].stats.as_dict()
+        assert "propagations" in d and "pts_memory_bytes" in d

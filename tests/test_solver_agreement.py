@@ -1,0 +1,136 @@
+"""Integration: every algorithm and representation computes one solution.
+
+This is the repository's core correctness property (and the paper's
+"without impacting precision" claim): the naive Figure-1 baseline is the
+semantic reference; HT, PKH, BLQ, LCD, HCD and every +HCD combination,
+over both points-to representations, must agree with it exactly — as must
+solving after OVS preprocessing, modulo expansion.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from conftest import random_system
+from repro.preprocess.ovs import offline_variable_substitution
+from repro.solvers.registry import available_solvers, solve
+from repro.workloads import generate_workload
+
+ALGORITHMS = available_solvers()
+GRAPH_ALGORITHMS = [a for a in ALGORITHMS if not a.startswith("blq")]
+
+
+class TestFixedSystems:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_simple_system(self, simple_system, algorithm):
+        assert solve(simple_system, algorithm) == solve(simple_system, "naive")
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_cycle_system(self, cycle_system, algorithm):
+        assert solve(cycle_system, algorithm) == solve(cycle_system, "naive")
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("pts", ["bitmap", "bdd"])
+    def test_both_representations(self, simple_system, algorithm, pts):
+        assert solve(simple_system, algorithm, pts=pts) == solve(simple_system, "naive")
+
+
+class TestRandomizedDifferential:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_graph_algorithms_agree(self, seed):
+        system = random_system(seed)
+        reference = solve(system, "naive")
+        for algorithm in GRAPH_ALGORITHMS:
+            result = solve(system, algorithm)
+            assert result == reference, (algorithm, result.diff(reference))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_blq_agrees(self, seed):
+        system = random_system(seed, max_vars=15, max_constraints=35)
+        reference = solve(system, "naive")
+        for algorithm in ("blq", "blq+hcd"):
+            result = solve(system, algorithm)
+            assert result == reference, (algorithm, result.diff(reference))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_bdd_representation_agrees(self, seed):
+        system = random_system(seed, max_vars=15, max_constraints=35)
+        reference = solve(system, "naive")
+        for algorithm in ("lcd", "lcd+hcd", "ht", "pkh"):
+            result = solve(system, algorithm, pts="bdd")
+            assert result == reference, (algorithm, result.diff(reference))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_ovs_preserves_every_algorithm(self, seed):
+        system = random_system(seed)
+        reference = solve(system, "naive")
+        ovs = offline_variable_substitution(system)
+        for algorithm in ("naive", "lcd+hcd", "ht+hcd", "pkh+hcd"):
+            result = ovs.expand(solve(ovs.reduced, algorithm))
+            assert result == reference, (algorithm, result.diff(reference))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_worklist_strategies_agree(self, seed):
+        from repro.solvers.registry import make_solver
+
+        system = random_system(seed)
+        reference = solve(system, "naive")
+        for strategy in ("fifo", "lifo", "lrf", "divided-lrf", "divided-fifo"):
+            solver = make_solver(system, "lcd", worklist=strategy)
+            assert solver.solve() == reference, strategy
+
+
+class TestMetamorphic:
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_adding_redundant_constraint_never_shrinks(self, seed):
+        """Monotonicity: adding a constraint can only grow the solution."""
+        from repro.constraints.model import Constraint, ConstraintKind
+
+        system = random_system(seed)
+        if system.num_vars < 2:
+            return
+        before = solve(system, "lcd+hcd")
+        extra = Constraint(ConstraintKind.COPY, 0, system.num_vars - 1)
+        grown = system.with_constraints(list(system.constraints) + [extra])
+        after = solve(grown, "lcd+hcd")
+        for var in range(system.num_vars):
+            assert before.points_to(var) <= after.points_to(var)
+
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_duplicate_constraints_are_noops(self, seed):
+        system = random_system(seed)
+        doubled = system.with_constraints(
+            list(system.constraints) + list(system.constraints)
+        )
+        assert solve(doubled, "lcd+hcd") == solve(system, "lcd+hcd")
+
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_constraint_order_irrelevant(self, seed):
+        import random as random_module
+
+        system = random_system(seed)
+        shuffled_constraints = list(system.constraints)
+        random_module.Random(seed).shuffle(shuffled_constraints)
+        shuffled = system.with_constraints(shuffled_constraints)
+        assert solve(shuffled, "lcd+hcd") == solve(system, "lcd+hcd")
+
+
+class TestWorkloadAgreement:
+    @pytest.mark.parametrize("name", ["emacs", "wine", "linux"])
+    def test_profiles_agree_at_small_scale(self, name):
+        system = generate_workload(name, scale=1 / 512, seed=2)
+        reference = solve(system, "naive")
+        for algorithm in ("ht", "pkh", "lcd", "hcd", "lcd+hcd"):
+            assert solve(system, algorithm) == reference, algorithm
+
+    def test_blq_on_workload(self):
+        system = generate_workload("emacs", scale=1 / 512, seed=2)
+        assert solve(system, "blq") == solve(system, "naive")

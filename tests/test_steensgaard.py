@@ -1,0 +1,116 @@
+"""Tests for the Steensgaard unification baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import random_system
+from repro.constraints.builder import ConstraintBuilder
+from repro.solvers.registry import available_solvers, make_solver, solve
+from repro.solvers.steensgaard import SteensgaardSolver
+
+
+class TestBasics:
+    def test_base_and_copy(self):
+        b = ConstraintBuilder()
+        p, q, x = b.var("p"), b.var("q"), b.var("x")
+        b.address_of(p, x)
+        b.assign(q, p)
+        solution = SteensgaardSolver(b.build()).solve()
+        assert solution.points_to(p) == {x}
+        assert solution.points_to(q) == {x}
+
+    def test_unification_merges_pointees(self):
+        """The signature imprecision: p = &x; q = &y; p = q unifies x,y."""
+        b = ConstraintBuilder()
+        p, q = b.var("p"), b.var("q")
+        x, y = b.var("x"), b.var("y")
+        b.address_of(p, x)
+        b.address_of(q, y)
+        b.assign(p, q)
+        system = b.build()
+        steens = SteensgaardSolver(system).solve()
+        andersen = solve(system, "naive")
+        # Andersen keeps q precise; Steensgaard smears both directions.
+        assert andersen.points_to(q) == {y}
+        assert steens.points_to(q) == {x, y}
+        assert steens.points_to(p) == {x, y}
+
+    def test_load_store(self):
+        b = ConstraintBuilder()
+        p, x, y, r = b.var("p"), b.var("x"), b.var("y"), b.var("r")
+        b.address_of(p, x)
+        b.address_of(x, y)
+        b.load(r, p)
+        solution = SteensgaardSolver(b.build()).solve()
+        assert y in solution.points_to(r)
+
+    def test_indirect_call(self):
+        b = ConstraintBuilder()
+        f = b.function("f", params=["a"])
+        b.assign(f.return_node, f.params[0])
+        x, fp, arg, ret = b.var("x"), b.var("fp"), b.var("arg"), b.var("ret")
+        b.address_of(arg, x)
+        b.address_of(fp, f.node)
+        b.call_indirect(fp, [arg], ret=ret)
+        solution = SteensgaardSolver(b.build()).solve()
+        assert x in solution.points_to(f.params[0])
+        assert x in solution.points_to(ret)
+
+    def test_call_before_function_known(self):
+        """A function reaching the pointer *after* the call site still
+        receives the arguments (pending-use replay)."""
+        b = ConstraintBuilder()
+        f = b.function("f", params=["a"])
+        x, fp, fp2, arg = b.var("x"), b.var("fp"), b.var("fp2"), b.var("arg")
+        b.address_of(arg, x)
+        b.call_indirect(fp, [arg], ret=None)  # fp empty at this point
+        b.address_of(fp2, f.node)
+        b.assign(fp, fp2)  # now f flows into fp
+        solution = SteensgaardSolver(b.build()).solve()
+        assert x in solution.points_to(f.params[0])
+
+    def test_empty_system(self):
+        solution = SteensgaardSolver(ConstraintBuilder().build()).solve()
+        assert solution.total_size() == 0
+
+    def test_near_linear_stats(self, simple_system):
+        solver = SteensgaardSolver(simple_system)
+        solver.solve()
+        assert solver.stats.pts_memory_bytes > 0
+        assert solver.stats.nodes_searched == 0  # no graph traversal at all
+
+
+class TestRegistry:
+    def test_reachable_by_name(self, simple_system):
+        assert make_solver(simple_system, "steensgaard") is not None
+
+    def test_excluded_from_equivalence_set(self):
+        assert "steensgaard" not in available_solvers()
+        from repro.solvers.registry import all_solvers
+
+        assert "steensgaard" in all_solvers()
+
+    def test_no_hcd_combination(self, simple_system):
+        with pytest.raises(ValueError):
+            make_solver(simple_system, "steensgaard+hcd")
+
+
+class TestSoundness:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_overapproximates_andersen(self, seed):
+        """Steensgaard must be a (usually strict) superset of Andersen."""
+        system = random_system(seed)
+        andersen = solve(system, "naive")
+        steens = solve(system, "steensgaard")
+        for var in range(system.num_vars):
+            assert andersen.points_to(var) <= steens.points_to(var), var
+
+    def test_strictly_less_precise_on_workload(self):
+        from repro.workloads import generate_workload
+
+        system = generate_workload("emacs", scale=1 / 256, seed=1)
+        andersen = solve(system, "lcd+hcd")
+        steens = solve(system, "steensgaard")
+        assert steens.total_size() > andersen.total_size()

@@ -1,0 +1,113 @@
+"""Unit and property tests for the union-find structure."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datastructs.union_find import UnionFind
+
+
+class TestBasics:
+    def test_initial_singletons(self):
+        uf = UnionFind(4)
+        assert len(uf) == 4
+        assert uf.set_count == 4
+        assert all(uf.find(i) == i for i in range(4))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        root = uf.union(0, 1)
+        assert uf.same(0, 1)
+        assert uf.find(0) == uf.find(1) == root
+        assert uf.set_count == 3
+
+    def test_union_idempotent(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        count = uf.set_count
+        uf.union(1, 0)
+        assert uf.set_count == count
+
+    def test_union_into_prefers_winner(self):
+        uf = UnionFind(5)
+        # Build rank on node 4's side to tempt rank-based tie-breaking.
+        uf.union(3, 4)
+        winner = uf.find(0)
+        assert uf.union_into(winner, uf.find(3)) == winner
+        assert uf.find(4) == winner
+
+    def test_grow(self):
+        uf = UnionFind(2)
+        uf.grow(5)
+        assert len(uf) == 5
+        assert uf.find(4) == 4
+
+    def test_grow_cannot_shrink(self):
+        with pytest.raises(ValueError):
+            UnionFind(3).grow(2)
+
+    def test_make_set(self):
+        uf = UnionFind(1)
+        node = uf.make_set()
+        assert node == 1
+        assert uf.set_count == 2
+
+    def test_roots(self):
+        uf = UnionFind(3)
+        uf.union(0, 2)
+        assert sorted(uf.roots()) == sorted({uf.find(0), uf.find(1)})
+
+    def test_groups(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        groups = sorted(sorted(g) for g in uf.groups())
+        assert [0, 1] in groups
+
+    def test_from_groups(self):
+        uf = UnionFind.from_groups(5, [[0, 1, 2], [3, 4]])
+        assert uf.same(0, 2) and uf.same(3, 4) and not uf.same(0, 3)
+
+
+class TestProperties:
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.lists(st.tuples(st.integers(0, 39), st.integers(0, 39)), max_size=60),
+    )
+    def test_matches_naive_partition(self, size, merges):
+        uf = UnionFind(size)
+        partition = {i: {i} for i in range(size)}
+        handle = {i: i for i in range(size)}  # element -> partition key
+
+        for a, b in merges:
+            a %= size
+            b %= size
+            uf.union(a, b)
+            ka, kb = handle[a], handle[b]
+            if ka != kb:
+                partition[ka] |= partition[kb]
+                for member in partition[kb]:
+                    handle[member] = ka
+                del partition[kb]
+
+        for i in range(size):
+            for j in range(size):
+                assert uf.same(i, j) == (handle[i] == handle[j])
+        assert uf.set_count == len(partition)
+
+    @given(
+        st.integers(min_value=2, max_value=30),
+        st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=40),
+    )
+    def test_union_into_winner_always_root(self, size, merges):
+        uf = UnionFind(size)
+        for a, b in merges:
+            a %= size
+            b %= size
+            winner = uf.find(a)
+            root = uf.union_into(winner, b)
+            assert root == winner
+            assert uf.find(b) == winner

@@ -1,0 +1,47 @@
+"""Tests for the Wave Propagation extension solver (CGO 2009)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import random_system
+from repro.solvers.registry import available_solvers, solve
+from repro.solvers.wave import WaveSolver
+from repro.workloads import generate_workload
+
+
+class TestWave:
+    def test_in_registry(self):
+        assert "wave" in available_solvers()
+        assert "wave+hcd" in available_solvers()
+
+    def test_matches_reference(self, simple_system, cycle_system):
+        for system in (simple_system, cycle_system):
+            assert solve(system, "wave") == solve(system, "naive")
+
+    def test_is_difference_propagating(self, simple_system):
+        solver = WaveSolver(simple_system)
+        assert solver.difference_propagation is True
+
+    def test_complete_cycle_detection(self, cycle_system):
+        solver = WaveSolver(cycle_system)
+        solver.solve()
+        assert solver.stats.nodes_collapsed == 2
+
+    def test_round_count_is_small(self):
+        """Waves converge in a handful of rounds, not O(n) iterations."""
+        system = generate_workload("emacs", scale=1 / 128, seed=1)
+        solver = WaveSolver(system)
+        solver.solve()
+        assert solver.stats.iterations <= 30
+
+    def test_on_workload(self):
+        system = generate_workload("linux", scale=1 / 256, seed=3)
+        assert solve(system, "wave") == solve(system, "naive")
+        assert solve(system, "wave+hcd") == solve(system, "naive")
+
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_agreement(self, seed):
+        system = random_system(seed)
+        assert solve(system, "wave") == solve(system, "naive")

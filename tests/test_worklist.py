@@ -1,0 +1,126 @@
+"""Tests for the worklist strategies."""
+
+import pytest
+
+from repro.datastructs.worklist import (
+    DividedWorklist,
+    FIFOWorklist,
+    LIFOWorklist,
+    LRFWorklist,
+    make_worklist,
+    worklist_strategies,
+)
+
+
+class TestCommonBehaviour:
+    @pytest.fixture(params=worklist_strategies())
+    def worklist(self, request):
+        return make_worklist(request.param)
+
+    def test_push_pop_single(self, worklist):
+        worklist.push(7)
+        assert len(worklist) == 1
+        assert 7 in worklist
+        assert worklist.pop() == 7
+        assert len(worklist) == 0
+        assert 7 not in worklist
+
+    def test_deduplicates(self, worklist):
+        worklist.push(1)
+        worklist.push(1)
+        assert len(worklist) == 1
+
+    def test_drains_everything(self, worklist):
+        pushed = {3, 1, 4, 1, 5, 9, 2, 6}
+        for item in pushed:
+            worklist.push(item)
+        drained = set()
+        while worklist:
+            drained.add(worklist.pop())
+        assert drained == pushed
+
+    def test_bool(self, worklist):
+        assert not worklist
+        worklist.push(0)
+        assert worklist
+
+    def test_repush_after_pop_allowed(self, worklist):
+        worklist.push(2)
+        worklist.pop()
+        worklist.push(2)
+        assert worklist.pop() == 2
+
+
+class TestOrdering:
+    def test_fifo_order(self):
+        w = FIFOWorklist()
+        for i in (5, 1, 3):
+            w.push(i)
+        assert [w.pop() for _ in range(3)] == [5, 1, 3]
+
+    def test_lifo_order(self):
+        w = LIFOWorklist()
+        for i in (5, 1, 3):
+            w.push(i)
+        assert [w.pop() for _ in range(3)] == [3, 1, 5]
+
+    def test_lrf_prefers_never_fired(self):
+        w = LRFWorklist()
+        w.push(1)
+        w.push(2)
+        assert w.pop() == 1  # tie on never-fired: smallest id
+        w.push(1)
+        w.push(3)
+        # 2 and 3 never fired; 1 fired recently and must come out last.
+        assert w.pop() == 2
+        assert w.pop() == 3
+        assert w.pop() == 1
+
+    def test_lrf_least_recently_fired_first(self):
+        w = LRFWorklist()
+        for i in (1, 2, 3):
+            w.push(i)
+        assert [w.pop() for _ in range(3)] == [1, 2, 3]
+        # Fire order is now 1 (oldest), 2, 3 (newest).
+        for i in (3, 2):
+            w.push(i)
+        assert w.pop() == 2  # 2 fired before 3
+
+    def test_divided_current_next_swap(self):
+        w = DividedWorklist(FIFOWorklist)
+        w.push(1)
+        w.push(2)
+        assert w.pop() == 1  # swap happens, pops from current
+        w.push(3)  # goes to *next*, not current
+        assert w.pop() == 2  # current still holds 2
+        assert w.pop() == 3
+
+    def test_divided_membership_spans_both_halves(self):
+        w = DividedWorklist(FIFOWorklist)
+        w.push(1)
+        w.push(2)
+        w.pop()
+        w.push(3)
+        assert 2 in w and 3 in w
+
+    def test_divided_no_duplicate_across_halves(self):
+        w = DividedWorklist(FIFOWorklist)
+        w.push(1)
+        w.push(2)
+        assert w.pop() == 1
+        # 2 sits in *current* now; pushing it again must not duplicate.
+        w.push(2)
+        assert len(w) == 1
+
+
+class TestFactory:
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            make_worklist("bogus")
+
+    def test_default_is_divided_lrf(self):
+        assert isinstance(make_worklist(), DividedWorklist)
+
+    def test_all_strategies_constructible(self):
+        for name in worklist_strategies():
+            assert make_worklist(name) is not None
