@@ -6,7 +6,6 @@ over BLQ.  We print the same series and check the *shape*: LCD+HCD wins
 on every benchmark against every baseline, with BLQ the most distant.
 """
 
-import pytest
 
 from conftest import emit_table, run_solver
 from paper_data import FIG6_SPEEDUPS

@@ -6,7 +6,6 @@ is competitive with HT (1.05x).  Exact constants are hardware- and
 implementation-bound; the ordering is what must survive.
 """
 
-import pytest
 
 from conftest import emit_table, run_solver
 from repro.metrics.reporting import Table, geometric_mean

@@ -7,7 +7,6 @@ slashes propagations (we check the counter directly, which is
 machine-independent).
 """
 
-import pytest
 
 from conftest import emit_table, run_solver
 from paper_data import FIG8_HCD_GAIN

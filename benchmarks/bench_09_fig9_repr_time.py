@@ -6,7 +6,6 @@ PKH and HCD — the heaviest propagators — can actually get *faster* with
 BDDs on some benchmarks.
 """
 
-import pytest
 
 from conftest import TABLE5_ALGORITHMS, emit_table, run_solver
 from paper_data import FIG9_BDD_SLOWDOWN

@@ -6,7 +6,6 @@ in bitmaps — we reproduce both the average direction and that caveat's
 mechanism (the ratio grows with benchmark size).
 """
 
-import pytest
 
 from conftest import TABLE5_ALGORITHMS, emit_table, run_solver
 from paper_data import FIG10_BDD_MEMORY_SAVING

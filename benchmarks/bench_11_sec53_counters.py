@@ -13,7 +13,6 @@ mechanism"):
   propagations for every graph algorithm (10x HT, 7.4x PKH/LCD).
 """
 
-import pytest
 
 from conftest import emit_table, run_solver
 from repro.metrics.reporting import Table, geometric_mean

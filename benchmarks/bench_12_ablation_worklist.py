@@ -12,7 +12,6 @@ import pytest
 from conftest import emit_table, workload
 from repro.metrics.reporting import Table
 from repro.solvers.lcd import LCDSolver
-from repro.workloads import BENCHMARK_ORDER
 
 STRATEGIES = ["fifo", "lifo", "lrf", "divided-fifo", "divided-lrf"]
 BENCHES = ["emacs", "insight", "linux"]

@@ -1,0 +1,87 @@
+"""Extension — parallel wave scaling (wave-par at 1/2/4 workers).
+
+Not a paper table: this measures the level-scheduled parallel wave
+solver (`solvers/wave_par.py`) against the sequential wave baseline on
+the generated workloads, recording wall-time and the propagation/
+scheduling counters per worker count.  The correctness half is a hard
+assertion — every configuration must produce the bit-identical
+solution — so this bench doubles as the entry-point smoke test for the
+parallel machinery.
+
+Scale with the suite-wide ``REPRO_SCALE`` (e.g. ``REPRO_SCALE=256``);
+worker counts come from ``REPRO_WORKERS`` (comma-separated, default
+``1,2,4``).
+"""
+
+import os
+
+from conftest import emit_table, workload
+from repro.metrics.reporting import Table
+from repro.solvers.registry import make_solver
+
+WORKER_COUNTS = [
+    int(n) for n in os.environ.get("REPRO_WORKERS", "1,2,4").split(",")
+]
+BENCHMARKS = ["wine", "linux"]
+
+
+def test_parallel_scaling(benchmark):
+    def collect():
+        runs = {}
+        for name in BENCHMARKS:
+            system = workload(name).reduced
+            base = make_solver(system, "wave")
+            reference = base.solve()
+            solvers = {"wave": base}
+            for workers in WORKER_COUNTS:
+                solver = make_solver(system, "wave-par", workers=workers)
+                assert solver.solve() == reference, (name, workers)
+                solvers[f"wave-par w={workers}"] = solver
+            runs[name] = solvers
+        return runs
+
+    runs = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    table = Table(
+        "Extension — parallel wave scaling (wall-time and counters)",
+        [
+            "benchmark", "config", "time (s)", "speedup", "waves", "levels",
+            "tasks par/inline", "deltas merged", "worker (s)", "propagations",
+        ],
+    )
+    for name, solvers in runs.items():
+        base_seconds = solvers[f"wave-par w={WORKER_COUNTS[0]}"].stats.solve_seconds
+        for label, solver in solvers.items():
+            stats = solver.stats
+            par = stats.parallel
+            table.add_row(
+                [
+                    name,
+                    label,
+                    f"{stats.solve_seconds:.3f}",
+                    f"{base_seconds / stats.solve_seconds:.2f}x"
+                    if stats.solve_seconds > 0
+                    else "-",
+                    par.waves if par else "-",
+                    par.levels if par else "-",
+                    f"{par.tasks_dispatched}/{par.tasks_inline}" if par else "-",
+                    par.deltas_merged if par else "-",
+                    f"{par.worker_seconds:.3f}" if par else "-",
+                    stats.propagations,
+                ]
+            )
+    emit_table(table)
+
+    # Shape checks: the schedule itself is worker-independent — identical
+    # wave/level structure and merge counts at every worker count.
+    for name, solvers in runs.items():
+        parallel_runs = [
+            solver.stats.parallel
+            for label, solver in solvers.items()
+            if label != "wave"
+        ]
+        first = parallel_runs[0]
+        for par in parallel_runs[1:]:
+            assert par.waves == first.waves, name
+            assert par.levels == first.levels, name
+            assert par.deltas_merged == first.deltas_merged, name

@@ -12,7 +12,7 @@ qualified names (``"fn::var"``) carry ownership.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set
+from typing import Dict, List, Optional, Set
 
 from repro.analysis.solution import PointsToSolution
 from repro.frontend.generator import GeneratedProgram

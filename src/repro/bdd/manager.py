@@ -17,7 +17,7 @@ and the workloads here are bounded.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 FALSE = 0
 TRUE = 1

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
 from repro.bdd.domain import Domain
-from repro.bdd.manager import FALSE, BDDManager
+from repro.bdd.manager import FALSE
 
 
 def relation_of(pairs: Iterable[Tuple[int, ...]], domains: Sequence[Domain]) -> int:

@@ -5,7 +5,7 @@ solutions and statistics out.
 
 ::
 
-    python -m repro solve FILE [--algorithm lcd+hcd] [--pts bitmap] [--ovs]
+    python -m repro solve FILE [--algorithm lcd+hcd] [--pts bitmap] [--ovs] [--workers N]
     python -m repro analyze FILE.c [--query main::p ...] [--callgraph]
     python -m repro generate BENCHMARK [--scale 128] [--seed 1] [-o FILE]
     python -m repro compare FILE [--algorithms ht,pkh,lcd+hcd]
@@ -40,7 +40,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     if args.ovs:
         ovs = offline_variable_substitution(system)
         target = ovs.reduced
-    solver = make_solver(target, args.algorithm, pts=args.pts)
+    solver = make_solver(target, args.algorithm, pts=args.pts, workers=args.workers)
     solution = solver.solve()
     if ovs is not None:
         solution = ovs.expand(solution)
@@ -139,7 +139,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     )
     reference = None
     for algorithm in algorithms:
-        solver = make_solver(system, algorithm.strip(), pts=args.pts)
+        solver = make_solver(
+            system, algorithm.strip(), pts=args.pts, workers=args.workers
+        )
         solution = solver.solve()
         if reference is None:
             reference = solution
@@ -208,6 +210,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve = sub.add_parser("solve", help="solve a constraint file")
     p_solve.add_argument("file")
     common(p_solve)
+    p_solve.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for parallel solvers (wave-par); "
+        "results are identical at any count",
+    )
     p_solve.add_argument("--ovs", action="store_true", help="pre-process with OVS")
     p_solve.add_argument("--all", action="store_true", help="print empty sets too")
     p_solve.add_argument("--stats", action="store_true", help="print solver counters")
@@ -247,6 +254,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("file")
     p_compare.add_argument("--algorithms", help="comma-separated solver names")
     p_compare.add_argument("--pts", default="bitmap", choices=["bitmap", "bdd"])
+    p_compare.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for parallel solvers (wave-par)",
+    )
     p_compare.set_defaults(func=_cmd_compare)
 
     p_stats = sub.add_parser("stats", help="constraint-file statistics + OVS preview")

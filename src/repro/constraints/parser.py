@@ -21,7 +21,7 @@ Declaration order fixes the id assignment, so a round-trip through
 from __future__ import annotations
 
 import io
-from typing import Dict, List, TextIO, Union
+from typing import Dict, List, TextIO
 
 from repro.constraints.model import (
     Constraint,
@@ -29,8 +29,6 @@ from repro.constraints.model import (
     ConstraintSystem,
     FunctionInfo,
     ObjectBlock,
-    PARAM_OFFSET,
-    RETURN_OFFSET,
 )
 
 _KIND_BY_NAME = {kind.value: kind for kind in ConstraintKind}

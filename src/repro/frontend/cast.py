@@ -9,7 +9,7 @@ plus declarator-derived wrappers (pointer / array / function).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional
 
 
 # ----------------------------------------------------------------------

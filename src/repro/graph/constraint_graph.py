@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Set, Tuple
 
-from repro.constraints.model import Constraint, ConstraintKind, ConstraintSystem
+from repro.constraints.model import ConstraintKind, ConstraintSystem
 from repro.datastructs.sparse_bitmap import SparseBitmap
 from repro.datastructs.union_find import UnionFind
 from repro.points_to.interface import PointsToFamily, PointsToSet

@@ -8,7 +8,7 @@ external dependencies: output is monospace-aligned text.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Union
+from typing import List, Sequence, Union
 
 Cell = Union[str, int, float, None]
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import weakref
-from typing import Iterator, List
+from typing import Iterator
 
 from repro.datastructs.sparse_bitmap import SparseBitmap
 from repro.points_to.interface import PointsToFamily, PointsToSet

@@ -35,7 +35,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Set, Tuple
 
-from repro.constraints.model import Constraint, ConstraintKind, ConstraintSystem
+from repro.constraints.model import ConstraintKind, ConstraintSystem
 from repro.graph.scc import tarjan_scc
 
 

@@ -13,7 +13,7 @@ through three machine-independent counters, all tracked here:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.solution import PointsToSolution
@@ -22,6 +22,35 @@ from repro.graph.constraint_graph import ConstraintGraph
 from repro.points_to.interface import PointsToFamily, make_family
 from repro.datastructs.sparse_bitmap import SparseBitmap
 from repro.preprocess.hcd_offline import HCDOfflineResult, hcd_offline_analysis
+
+
+@dataclass
+class ParallelStats:
+    """Extra counters kept by the parallel wave solver (``wave-par``).
+
+    ``worker_seconds`` is wall-time summed over worker tasks; comparing
+    it against ``solve_seconds`` shows how much of the solve actually ran
+    inside the pool versus in the coordinating process.
+    """
+
+    workers: int = 1
+    waves: int = 0
+    levels: int = 0
+    tasks_dispatched: int = 0
+    tasks_inline: int = 0
+    deltas_merged: int = 0
+    worker_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "workers": self.workers,
+            "waves": self.waves,
+            "levels": self.levels,
+            "tasks_dispatched": self.tasks_dispatched,
+            "tasks_inline": self.tasks_inline,
+            "deltas_merged": self.deltas_merged,
+            "worker_seconds": self.worker_seconds,
+        }
 
 
 @dataclass
@@ -40,13 +69,15 @@ class SolverStats:
     solve_seconds: float = 0.0
     pts_memory_bytes: int = 0
     graph_memory_bytes: int = 0
+    #: Filled in by solvers that fan work out across a pool.
+    parallel: Optional[ParallelStats] = None
 
     @property
     def total_memory_bytes(self) -> int:
         return self.pts_memory_bytes + self.graph_memory_bytes
 
     def as_dict(self) -> Dict[str, float]:
-        return {
+        data = {
             "propagations": self.propagations,
             "nodes_searched": self.nodes_searched,
             "nodes_collapsed": self.nodes_collapsed,
@@ -60,6 +91,10 @@ class SolverStats:
             "pts_memory_bytes": self.pts_memory_bytes,
             "graph_memory_bytes": self.graph_memory_bytes,
         }
+        if self.parallel is not None:
+            for key, value in self.parallel.as_dict().items():
+                data[f"parallel_{key}"] = value
+        return data
 
 
 class BaseSolver:

@@ -22,7 +22,7 @@ graph-based solvers (≈1.1x).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set
 
 from repro.analysis.solution import PointsToSolution
 from repro.bdd.domain import Domain, DomainAllocator
@@ -249,7 +249,6 @@ class BLQSolver(BaseSolver):
 
     def _apply_hcd_pairs(self) -> bool:
         assert self.hcd_offline is not None
-        manager = self.manager
         changed = False
         groups: List[List[int]] = list(self.hcd_offline.direct_groups)
         for var, pairs in self.hcd_offline.pairs.items():

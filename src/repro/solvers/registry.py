@@ -26,6 +26,7 @@ from repro.solvers.pkh import PKHSolver
 from repro.solvers.pkh03 import PKH03Solver
 from repro.solvers.steensgaard import SteensgaardSolver
 from repro.solvers.wave import WaveSolver
+from repro.solvers.wave_par import WaveParallelSolver
 
 _BASE_SOLVERS: Dict[str, Type[BaseSolver]] = {
     "naive": NaiveSolver,
@@ -41,6 +42,10 @@ _BASE_SOLVERS: Dict[str, Type[BaseSolver]] = {
     # Extension: Wave Propagation (Pereira & Berlin, CGO 2009), the
     # follow-on work built on this paper's foundations.
     "wave": WaveSolver,
+    # Extension: level-scheduled wave propagation with a multiprocessing
+    # fan-out per topological level (bit-identical to "wave" at any
+    # worker count; see solvers/wave_par.py).
+    "wave-par": WaveParallelSolver,
 }
 
 #: Analyses with *different precision* than inclusion-based analysis:
@@ -87,8 +92,13 @@ def make_solver(
     algorithm: str = "lcd+hcd",
     pts: str = "bitmap",
     worklist: str = "divided-lrf",
+    workers: int = 1,
 ) -> BaseSolver:
-    """Instantiate a solver by name (without running it)."""
+    """Instantiate a solver by name (without running it).
+
+    ``workers`` sizes the worker pool of solvers that support one
+    (currently ``wave-par``); other solvers ignore it.
+    """
     name = algorithm.lower().strip()
     hcd = False
     if name.endswith("+hcd"):
@@ -102,7 +112,10 @@ def make_solver(
         raise ValueError(f"unknown algorithm {algorithm!r}; known: {known}")
     if solver_cls is HCDSolver and hcd:
         hcd = False  # "hcd+hcd" is just hcd
-    return solver_cls(system, pts=pts, hcd=hcd, worklist=worklist)
+    extra = {}
+    if issubclass(solver_cls, WaveParallelSolver):
+        extra["workers"] = workers
+    return solver_cls(system, pts=pts, hcd=hcd, worklist=worklist, **extra)
 
 
 def solve(
@@ -110,6 +123,9 @@ def solve(
     algorithm: str = "lcd+hcd",
     pts: str = "bitmap",
     worklist: str = "divided-lrf",
+    workers: int = 1,
 ) -> PointsToSolution:
     """One-call API: build the named solver and return its solution."""
-    return make_solver(system, algorithm, pts=pts, worklist=worklist).solve()
+    return make_solver(
+        system, algorithm, pts=pts, worklist=worklist, workers=workers
+    ).solve()

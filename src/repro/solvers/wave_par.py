@@ -1,0 +1,297 @@
+"""Parallel wave propagation (``wave-par``).
+
+Andersen-style difference propagation decomposes naturally once the
+constraint graph is condensed: after SCC collapsing the graph is a DAG,
+and a longest-path layering (:func:`repro.graph.topo_order.topological_levels`)
+puts mutually independent nodes in the same *level*.  Within a level no
+node can influence another, so the expensive part of a wave — unioning
+each source's difference set into its successors — fans out across a
+worker pool with a barrier per level.  Pavlogiannis ("The Fine-Grained
+and Parallel Complexity of Andersen's Pointer Analysis") shows the
+analysis admits exactly this kind of parallelism.
+
+Scheduling is *owner-computes* over successors: each task owns a chunk
+of the level's affected successors and computes, for each one, the union
+of its current points-to set with every incoming difference set, in a
+fixed ascending source order.  The coordinator applies results at the
+level barrier in ascending successor order.  Because set union is
+order-insensitive and the schedule never depends on worker timing, the
+solution is bit-identical to :class:`~repro.solvers.wave.WaveSolver`
+at any worker count.
+
+Sets cross the process boundary as the flat ``array("Q")`` encoding of
+:mod:`repro.datastructs.sparse_bitmap` — one shared buffer per level for
+the difference sets, addressed by offset, so a source with successors in
+several chunks is encoded once.  With ``workers=1`` (or a level too
+small to amortize dispatch, or a non-bitmap points-to family) the same
+chunk schedule runs sequentially in-process on the live bitmaps.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.solution import PointsToSolution
+from repro.datastructs.sparse_bitmap import SparseBitmap
+from repro.graph.topo_order import topological_levels
+from repro.solvers.base import ParallelStats
+from repro.solvers.wave import WaveSolver
+
+#: One merge task: the level's shared difference-set buffer plus the
+#: chunk's jobs, each ``(successor, encoded pts, delta record offsets)``.
+_MergeTask = Tuple["array[int]", List[Tuple[int, "array[int]", Tuple[int, ...]]]]
+
+
+def _merge_chunk(task: _MergeTask):
+    """Pool worker: union encoded difference sets into encoded targets.
+
+    Pure function of its payload — workers hold no solver state, which
+    keeps fork and spawn start methods equivalent.  Returns one entry per
+    job: the re-encoded merged set when it changed, else ``None``.
+    """
+    delta_buf, jobs = task
+    started = time.perf_counter()
+    results: List[Tuple[int, Optional["array[int]"]]] = []
+    for succ, pts_words, delta_offsets in jobs:
+        bitmap, _ = SparseBitmap.decode(pts_words)
+        changed = False
+        for offset in delta_offsets:
+            if bitmap.ior_encoded(delta_buf, offset):
+                changed = True
+        if changed:
+            out: "array[int]" = array("Q")
+            bitmap.encode_into(out)
+            results.append((succ, out))
+        else:
+            results.append((succ, None))
+    return results, time.perf_counter() - started
+
+
+class WaveParallelSolver(WaveSolver):
+    """Level-scheduled wave propagation with a per-level worker fan-out."""
+
+    name = "wave-par"
+
+    #: Minimum estimated merge work (bitmap blocks touched) in a level
+    #: before it is worth shipping to the pool; smaller levels run the
+    #: same chunk schedule inline.  Tests set this to 0 to force dispatch.
+    parallel_threshold = 1024
+
+    def __init__(self, *args, workers: int = 1, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.workers = max(1, int(workers))
+        self.stats.parallel = ParallelStats(workers=self.workers)
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+
+    def _run(self) -> PointsToSolution:
+        try:
+            return super()._run()
+        finally:
+            self._close_pool()
+
+    def _get_pool(self):
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            self._pool = ctx.Pool(processes=self.workers)
+        return self._pool
+
+    def _close_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # The leveled wave
+    # ------------------------------------------------------------------
+
+    def _wave(self, order: List[int]) -> bool:
+        """One wave, scheduled as topological levels with barriers.
+
+        Equivalent to the sequential wave: levels run in order, and a
+        node's difference set is computed only after every earlier level
+        merged into it (all edges point to strictly later levels).
+        """
+        graph = self.graph
+        par = self.stats.parallel
+        par.waves += 1
+        changed = False
+        for level in topological_levels(order, graph.successors):
+            par.levels += 1
+            if self._process_level(level):
+                changed = True
+        return changed
+
+    def _process_level(self, level: List[int]) -> bool:
+        graph = self.graph
+        changed = False
+
+        # Fresh edges (inserted by the last batch-resolution phase) carry
+        # the full set once, exactly as in the sequential wave.  Their
+        # targets are ordinary graph edges, hence in strictly later
+        # levels — this never mutates the level being processed.
+        for node in level:
+            fresh_edges = graph.fresh_edges[node]
+            if not fresh_edges:
+                continue
+            graph.fresh_edges[node] = []
+            pts = graph.pts_of(node)
+            offered = set()
+            for raw in fresh_edges:
+                succ = graph.find(raw)
+                if succ == node or succ in offered:
+                    continue
+                offered.add(succ)
+                self.stats.propagations += 1
+                if graph.pts_of(succ).ior_and_test(pts):
+                    changed = True
+
+        # Difference sets for the whole level, then one merge pass over
+        # the affected successors (sources ascending per successor).
+        bitmap_family = self.pts_kind == "bitmap"
+        deltas: Dict[int, object] = {}
+        incoming: Dict[int, List[int]] = {}
+        for node in level:
+            prev = graph.prev_pts[node]
+            pts = graph.pts[node]
+            if bitmap_family:
+                delta = pts.bits.copy()
+                delta.difference_update(prev)
+                if not delta:
+                    continue
+                prev.ior(delta)
+            else:
+                fresh = [loc for loc in pts if loc not in prev]
+                if not fresh:
+                    continue
+                delta = self.family.make()
+                for loc in fresh:
+                    prev.add(loc)
+                    delta.add(loc)
+            successors = sorted(set(graph.successors(node)))
+            if not successors:
+                continue
+            deltas[node] = delta
+            for succ in successors:
+                incoming.setdefault(succ, []).append(node)
+
+        if incoming and self._merge_level(incoming, deltas, bitmap_family):
+            changed = True
+        return changed
+
+    # ------------------------------------------------------------------
+    # Level merge: chunk, dispatch or run inline, apply at the barrier
+    # ------------------------------------------------------------------
+
+    def _merge_level(
+        self,
+        incoming: Dict[int, List[int]],
+        deltas: Dict[int, object],
+        bitmap_family: bool,
+    ) -> bool:
+        graph = self.graph
+        par = self.stats.parallel
+        targets = sorted(incoming)
+        par.deltas_merged += sum(len(incoming[succ]) for succ in targets)
+        self.stats.propagations += sum(len(incoming[succ]) for succ in targets)
+
+        if bitmap_family:
+            costs = [
+                graph.pts[succ].bits.block_count
+                + sum(deltas[src].block_count for src in incoming[succ])
+                for succ in targets
+            ]
+        else:
+            costs = [1 + len(incoming[succ]) for succ in targets]
+        chunks = _partition(targets, costs, self.workers)
+
+        use_pool = (
+            self.workers > 1
+            and bitmap_family
+            and len(chunks) > 1
+            and sum(costs) >= self.parallel_threshold
+        )
+        if not use_pool:
+            changed = False
+            par.tasks_inline += len(chunks)
+            for chunk in chunks:
+                for succ in chunk:
+                    target = graph.pts[succ]
+                    if bitmap_family:
+                        bits = target.bits
+                        for src in incoming[succ]:
+                            if bits.ior_and_test(deltas[src]):
+                                changed = True
+                    else:
+                        for src in incoming[succ]:
+                            if target.ior_and_test(deltas[src]):
+                                changed = True
+            return changed
+
+        # Encode each difference set once into the level's shared buffer.
+        delta_buf: "array[int]" = array("Q")
+        delta_offsets = {
+            src: delta.encode_into(delta_buf) for src, delta in sorted(deltas.items())
+        }
+        tasks: List[_MergeTask] = []
+        for chunk in chunks:
+            jobs = []
+            for succ in chunk:
+                pts_words: "array[int]" = array("Q")
+                graph.pts[succ].bits.encode_into(pts_words)
+                jobs.append(
+                    (succ, pts_words, tuple(delta_offsets[src] for src in incoming[succ]))
+                )
+            tasks.append((delta_buf, jobs))
+        par.tasks_dispatched += len(tasks)
+
+        changed = False
+        for job_results, elapsed in self._get_pool().map(_merge_chunk, tasks):
+            par.worker_seconds += elapsed
+            for succ, words in job_results:
+                if words is None:
+                    continue
+                merged, _ = SparseBitmap.decode(words)
+                graph.pts[succ].bits = merged
+                changed = True
+        return changed
+
+
+def _partition(
+    targets: Sequence[int], costs: Sequence[int], chunk_count: int
+) -> List[List[int]]:
+    """Split ``targets`` into at most ``chunk_count`` contiguous chunks of
+    roughly equal total cost (deterministic: depends only on inputs)."""
+    chunk_count = min(chunk_count, len(targets))
+    if chunk_count <= 1:
+        return [list(targets)] if targets else []
+    total = sum(costs)
+    chunks: List[List[int]] = []
+    current: List[int] = []
+    accumulated = 0
+    spent = 0
+    for target, cost in zip(targets, costs):
+        current.append(target)
+        accumulated += cost
+        remaining_chunks = chunk_count - len(chunks)
+        if (
+            accumulated * remaining_chunks >= total - spent
+            and len(chunks) < chunk_count - 1
+        ):
+            chunks.append(current)
+            current = []
+            spent += accumulated
+            accumulated = 0
+    if current:
+        chunks.append(current)
+    return chunks

@@ -37,7 +37,6 @@ def generate_c_program(seed: int = 1, n_functions: int = 4, statements_per_fn: i
 
     for index, fn in enumerate(fn_names):
         body: List[str] = []
-        locals_ = ["a", "b"]
         ptrs = ["a", "b"] + gptrs
         body.append("    int x0 = 0, x1 = 1;")
         body.append("    int *p0 = &x0;")

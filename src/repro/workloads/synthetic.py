@@ -25,7 +25,7 @@ bench meaningful.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.constraints.builder import ConstraintBuilder, FunctionHandle
 from repro.constraints.model import ConstraintSystem

@@ -4,8 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.bdd.domain import Domain, DomainAllocator, bits_for
-from repro.bdd.manager import FALSE, TRUE
+from repro.bdd.domain import DomainAllocator, bits_for
+from repro.bdd.manager import FALSE
 from repro.bdd.ops import project, relation_count, relation_of, tuples_of
 
 
@@ -88,7 +88,6 @@ class TestEncoding:
 
     def test_equals_relation(self, alloc):
         d, e = alloc["d"], alloc["e"]
-        m = alloc.manager
         eq = d.equals(e)
         pairs = set(tuples_of(eq, [d, e]))
         # 16 bit patterns but only in-range tuples matter for the tests.

@@ -75,6 +75,16 @@ class TestSolve:
         assert code == 0
         assert "p -> {x}" in out
 
+    def test_parallel_workers(self, constraint_file, capsys):
+        code, out, _ = run_cli(
+            ["solve", constraint_file, "--algorithm", "wave-par",
+             "--workers", "2", "--stats"],
+            capsys,
+        )
+        assert code == 0
+        assert "p -> {x}" in out
+        assert "parallel_workers: 2" in out
+
 
 class TestAnalyze:
     def test_query(self, c_file, capsys):

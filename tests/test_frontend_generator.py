@@ -13,7 +13,7 @@ def analyze(source, algorithm="lcd+hcd"):
     system = program.system
 
     def pts(name):
-        return {system.name_of(l) for l in solution.points_to(program.node_of(name))}
+        return {system.name_of(loc) for loc in solution.points_to(program.node_of(name))}
 
     return program, solution, pts
 
@@ -310,7 +310,7 @@ class TestFieldBased:
         solution = solve(program.system, "lcd+hcd")
         system = program.system
         r1 = solution.points_to(program.node_of("main::r1"))
-        assert {system.name_of(l) for l in r1} == {"main::x"}
+        assert {system.name_of(loc) for loc in r1} == {"main::x"}
 
     def test_field_based_separates_fields(self):
         program = generate_constraints(self.SOURCE, field_mode="based")
@@ -322,7 +322,7 @@ class TestFieldBased:
         solution = solve(program.system, "lcd+hcd")
         system = program.system
         r2 = solution.points_to(program.node_of("main::r2"))
-        assert {system.name_of(l) for l in r2} == {"main::x"}
+        assert {system.name_of(loc) for loc in r2} == {"main::x"}
         assert solution.points_to(program.node_of("main::r1")) == frozenset()
 
     def test_field_based_reduces_dereferences(self):
@@ -365,7 +365,7 @@ class TestFieldBased:
         program = generate_constraints(source, field_mode="based")
         solution = solve(program.system, "lcd+hcd")
         r = solution.points_to(program.node_of("main::r"))
-        assert {program.system.name_of(l) for l in r} == {"main::x"}
+        assert {program.system.name_of(loc) for loc in r} == {"main::x"}
 
 
 class TestFieldSensitive:
@@ -402,8 +402,8 @@ class TestFieldSensitive:
 
         def pts(name):
             return {
-                system.name_of(l)
-                for l in solution.points_to(program.node_of(name))
+                system.name_of(loc)
+                for loc in solution.points_to(program.node_of(name))
             }
 
         return program, solution, pts
@@ -482,12 +482,12 @@ class TestFieldSensitive:
         insens = solve(insensitive_program.system, "naive")
         # q is a plain pointer variable present in both encodings.
         q_sens = {
-            sensitive_program.system.name_of(l)
-            for l in sens.points_to(sensitive_program.node_of("main::q"))
+            sensitive_program.system.name_of(loc)
+            for loc in sens.points_to(sensitive_program.node_of("main::q"))
         }
         q_insens = {
-            insensitive_program.system.name_of(l)
-            for l in insens.points_to(insensitive_program.node_of("main::q"))
+            insensitive_program.system.name_of(loc)
+            for loc in insens.points_to(insensitive_program.node_of("main::q"))
         }
         assert q_sens <= q_insens
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.frontend.lexer import LexError, Token, TokenKind, tokenize
+from repro.frontend.lexer import LexError, TokenKind, tokenize
 
 
 def kinds(source):

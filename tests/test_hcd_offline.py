@@ -77,7 +77,7 @@ class TestRefSCCs:
     def test_offsets_tracked_per_ref(self):
         # load/store through a+1 forming the ref cycle at offset 1.
         b = ConstraintBuilder()
-        f = b.function("f", params=[])
+        b.function("f", params=[])
         va, vc = b.var("a"), b.var("c")
         b.load(vc, va, offset=1)
         b.store(va, vc, offset=1)

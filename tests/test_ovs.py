@@ -8,7 +8,6 @@ from conftest import random_system
 from repro.constraints.builder import ConstraintBuilder
 from repro.constraints.model import ConstraintKind
 from repro.preprocess.ovs import offline_variable_substitution
-from repro.constraints.builder import ConstraintBuilder as _CB
 from repro.solvers.registry import solve
 
 

@@ -16,7 +16,7 @@ ALL_SOLVER_CLASSES = [NaiveSolver, HTSolver, PKHSolver, BLQSolver, LCDSolver, HC
 
 
 def names_of(system, solution, var):
-    return sorted(system.name_of(l) for l in solution.points_to(var))
+    return sorted(system.name_of(loc) for loc in solution.points_to(var))
 
 
 @pytest.mark.parametrize("solver_cls", ALL_SOLVER_CLASSES)

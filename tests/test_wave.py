@@ -1,6 +1,5 @@
 """Tests for the Wave Propagation extension solver (CGO 2009)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -79,7 +79,7 @@ class TestSyntheticGenerator:
         assert len(raw) > len(reduced)
 
     def test_expansion_approximates_paper_ratio(self):
-        profile = BENCHMARKS["gimp"]  # highest original/reduced ratio
+        # gimp has the highest original/reduced ratio of the profiles.
         raw = generate_workload("gimp", scale=1 / 64, seed=1)
         ovs = offline_variable_substitution(raw)
         # OVS should remove most of the injected temporaries.
