@@ -15,6 +15,7 @@ figures, counters) reuse the timed runs, and every paper-style table is
 printed in the terminal summary at the end of the session.
 """
 
+import json
 import os
 import sys
 from typing import Dict, List, Tuple
@@ -41,9 +42,14 @@ TABLE3_ALGORITHMS = [
 #: Table 5/6 configurations (BLQ is already BDD-based, so it is absent).
 TABLE5_ALGORITHMS = ["ht", "pkh", "lcd", "hcd", "ht+hcd", "pkh+hcd", "lcd+hcd"]
 
+#: Where the machine-readable perf trajectory lands (one file, overwritten
+#: per bench session, committed so PRs can be diffed on numbers).
+BENCH_JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_repr.json")
+
 _workload_cache: Dict[str, OVSResult] = {}
 _run_cache: Dict[Tuple[str, str, str], BaseSolver] = {}
 _tables: List[Table] = []
+_bench_records: List[Dict] = []
 
 
 def workload(name: str) -> OVSResult:
@@ -68,12 +74,41 @@ def run_solver(name: str, algorithm: str, pts: str = "bitmap") -> BaseSolver:
         solver = make_solver(workload(name).reduced, algorithm, pts=pts)
         solver.solve()
         _run_cache[key] = solver
+        _bench_records.append(
+            {
+                "workload": name,
+                "solver": solver.full_name,
+                "pts": pts,
+                "wall_seconds": solver.stats.solve_seconds,
+                "pts_memory_bytes": solver.stats.pts_memory_bytes,
+                "graph_memory_bytes": solver.stats.graph_memory_bytes,
+                "peak_bytes": solver.stats.total_memory_bytes,
+            }
+        )
     return solver
 
 
 def emit_table(table: Table) -> None:
     """Queue a paper-style table for the end-of-session summary."""
     _tables.append(table)
+
+
+def pytest_sessionfinish(session):  # pragma: no cover - hook
+    """Dump every timed run as machine-readable JSON so the perf
+    trajectory (time and peak bytes per solver/family/workload) can be
+    tracked across PRs."""
+    if not _bench_records:
+        return
+    payload = {
+        "scale_denominator": SCALE_DENOMINATOR,
+        "records": sorted(
+            _bench_records,
+            key=lambda r: (r["workload"], r["solver"], r["pts"]),
+        ),
+    }
+    with open(BENCH_JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
 
 
 def pytest_terminal_summary(terminalreporter):  # pragma: no cover - hook

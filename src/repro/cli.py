@@ -23,6 +23,7 @@ from repro.constraints.parser import read_constraints, write_constraints
 from repro.frontend.generator import generate_constraints
 from repro.metrics.memory import to_megabytes
 from repro.metrics.reporting import Table
+from repro.points_to.interface import FAMILY_KINDS
 from repro.preprocess.ovs import offline_variable_substitution
 from repro.solvers.registry import available_solvers, make_solver
 from repro.workloads import BENCHMARK_ORDER, generate_workload
@@ -205,7 +206,14 @@ def build_parser() -> argparse.ArgumentParser:
             default="lcd+hcd",
             help=f"one of: {', '.join(available_solvers())}",
         )
-        p.add_argument("--pts", default="bitmap", choices=["bitmap", "bdd"])
+        p.add_argument(
+            "--pts",
+            default="bitmap",
+            choices=list(FAMILY_KINDS),
+            help="points-to representation: GCC-style sparse bitmaps, "
+            "hash-consed shared bitmaps (interned, memoized unions), "
+            "or per-variable BDDs",
+        )
 
     p_solve = sub.add_parser("solve", help="solve a constraint file")
     p_solve.add_argument("file")
@@ -253,7 +261,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare = sub.add_parser("compare", help="run several algorithms on one file")
     p_compare.add_argument("file")
     p_compare.add_argument("--algorithms", help="comma-separated solver names")
-    p_compare.add_argument("--pts", default="bitmap", choices=["bitmap", "bdd"])
+    p_compare.add_argument(
+        "--pts",
+        default="bitmap",
+        choices=list(FAMILY_KINDS),
+        help="points-to representation (bitmap, shared, or bdd)",
+    )
     p_compare.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for parallel solvers (wave-par)",

@@ -116,6 +116,8 @@ class SparseBitmap:
         solvers' inner loop is ``pts(z) |= pts(n)`` followed by a changed
         test, and fusing the two avoids a second pass.
         """
+        if other is self or not other._count:
+            return False
         changed = False
         blocks = self._blocks
         for block_index, other_word in other._blocks.items():
@@ -174,6 +176,17 @@ class SparseBitmap:
             if other_word is not None and word & other_word:
                 return True
         return False
+
+    def same_as(self, other: "SparseBitmap") -> bool:
+        """Set equality, cheapest checks first.
+
+        Identity, then the cached population counts (so unequal sets are
+        rejected without touching a single block), then block contents.
+        This is the bitmap family's LCD trigger condition.
+        """
+        if other is self:
+            return True
+        return self._count == other._count and self._blocks == other._blocks
 
     def issubset(self, other: "SparseBitmap") -> bool:
         if self._count > other._count:
@@ -301,7 +314,7 @@ class SparseBitmap:
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, SparseBitmap):
-            return self._count == other._count and self._blocks == other._blocks
+            return self.same_as(other)
         if isinstance(other, (set, frozenset)):
             return self._count == len(other) and all(item in self for item in other)
         return NotImplemented
@@ -332,6 +345,14 @@ class SparseBitmap:
         clone._blocks = dict(self._blocks)
         clone._count = self._count
         return clone
+
+    def content_key(self) -> Tuple[Tuple[int, int], ...]:
+        """Hashable canonical form: sorted ``(block_index, word)`` pairs.
+
+        Two bitmaps hold the same elements iff their content keys are
+        equal — the interning key of ``datastructs.intern_table``.
+        """
+        return tuple(sorted(self._blocks.items()))
 
     def clear(self) -> None:
         self._blocks.clear()

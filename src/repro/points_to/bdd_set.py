@@ -81,6 +81,7 @@ class BDDPointsToFamily(PointsToFamily):
     """Shared manager + location domain for a solver run's BDD sets."""
 
     name = "bdd"
+    constant_time_equality = True
 
     #: Modelled byte size of one BDD node (BuDDy: 20 bytes; we round to the
     #: allocation granularity of a node record with hash-table overhead).

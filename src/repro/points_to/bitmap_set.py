@@ -27,7 +27,7 @@ class BitmapPointsToSet:
         return loc in self.bits
 
     def same_as(self, other: "BitmapPointsToSet") -> bool:
-        return self.bits == other.bits
+        return self.bits.same_as(other.bits)
 
     def copy(self) -> "BitmapPointsToSet":
         clone = BitmapPointsToSet()

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterator, Protocol, runtime_checkable
+from typing import Iterable, Iterator, Protocol, runtime_checkable
 
 
 @runtime_checkable
@@ -50,26 +50,57 @@ class PointsToFamily:
     #: Short name used by the solver registry and the benchmarks.
     name: str = "abstract"
 
+    #: True when ``same_as`` is O(1) (canonical representations: BDD node
+    #: ids, interned "shared" nodes).  Solvers use it to gate equality
+    #: fast paths that would cost a scan on plain bitmaps.
+    constant_time_equality: bool = False
+
     def make(self) -> PointsToSet:
         raise NotImplementedError
+
+    def make_from(self, locs: Iterable[int]) -> PointsToSet:
+        """A set holding exactly ``locs``.
+
+        Families with canonicalization overhead per mutation override
+        this to build the value in one step (the solvers' difference
+        sets are born whole, never grown).
+        """
+        made = self.make()
+        for loc in locs:
+            made.add(loc)
+        return made
 
     def memory_bytes(self) -> int:
         """Total bytes attributable to the sets created by this family."""
         raise NotImplementedError
 
+    def intern_stats(self):
+        """Hash-consing counters (``shared`` family only), else ``None``."""
+        return None
+
+
+#: Registered representation names, in the benchmarks' comparison order.
+FAMILY_KINDS = ("bitmap", "shared", "bdd")
+
 
 def make_family(kind: str, num_locs: int) -> PointsToFamily:
-    """Build a points-to family: ``"bitmap"`` or ``"bdd"``.
+    """Build a points-to family: ``"bitmap"``, ``"shared"`` or ``"bdd"``.
 
     ``num_locs`` bounds the location ids the sets will hold (the BDD family
-    sizes its domain from it; the bitmap family ignores it).
+    sizes its domain from it; the bitmap families ignore it).
     """
     # Imported here to avoid a cycle with the implementation modules.
     from repro.points_to.bdd_set import BDDPointsToFamily
     from repro.points_to.bitmap_set import BitmapPointsToFamily
+    from repro.points_to.shared_set import SharedPointsToFamily
 
     if kind == "bitmap":
         return BitmapPointsToFamily()
+    if kind == "shared":
+        return SharedPointsToFamily()
     if kind == "bdd":
         return BDDPointsToFamily(num_locs)
-    raise ValueError(f"unknown points-to representation {kind!r} (want 'bitmap' or 'bdd')")
+    raise ValueError(
+        f"unknown points-to representation {kind!r} "
+        f"(want one of {', '.join(repr(k) for k in FAMILY_KINDS)})"
+    )

@@ -20,6 +20,7 @@ from repro.analysis.solution import PointsToSolution
 from repro.constraints.model import ConstraintSystem
 from repro.graph.constraint_graph import ConstraintGraph
 from repro.points_to.interface import PointsToFamily, make_family
+from repro.datastructs.intern_table import InternStats
 from repro.datastructs.sparse_bitmap import SparseBitmap
 from repro.preprocess.hcd_offline import HCDOfflineResult, hcd_offline_analysis
 
@@ -71,6 +72,8 @@ class SolverStats:
     graph_memory_bytes: int = 0
     #: Filled in by solvers that fan work out across a pool.
     parallel: Optional[ParallelStats] = None
+    #: Filled in by runs using the hash-consed "shared" points-to family.
+    intern: Optional[InternStats] = None
 
     @property
     def total_memory_bytes(self) -> int:
@@ -94,6 +97,9 @@ class SolverStats:
         if self.parallel is not None:
             for key, value in self.parallel.as_dict().items():
                 data[f"parallel_{key}"] = value
+        if self.intern is not None:
+            for key, value in self.intern.as_dict().items():
+                data[f"intern_{key}"] = value
         return data
 
 
@@ -349,10 +355,17 @@ class GraphSolver(BaseSolver):
         """Propagate pts(node) to every successor; queue the changed ones."""
         graph = self.graph
         pts = graph.pts_of(node)
+        # Canonical families make equality O(1): when source and target
+        # already hold the same node id the union is skipped entirely —
+        # cheap partial cycle suppression even without LCD/HCD.
+        fast_eq = self.family.constant_time_equality
         if not self.difference_propagation:
             for succ in list(graph.successors(node)):
                 self.stats.propagations += 1
-                if graph.pts_of(succ).ior_and_test(pts):
+                target = graph.pts_of(succ)
+                if fast_eq and target.same_as(pts):
+                    continue
+                if target.ior_and_test(pts):
                     push(succ)
             return
 
@@ -375,10 +388,9 @@ class GraphSolver(BaseSolver):
         delta = [loc for loc in pts if loc not in prev]
         if not delta:
             return
-        delta_set = self.family.make()
         for loc in delta:
             prev.add(loc)
-            delta_set.add(loc)
+        delta_set = self.family.make_from(delta)
         for succ in list(graph.successors(node)):
             self.stats.propagations += 1
             if graph.pts_of(succ).ior_and_test(delta_set):
@@ -398,3 +410,4 @@ class GraphSolver(BaseSolver):
     def _account_memory(self) -> None:
         self.stats.pts_memory_bytes = self.family.memory_bytes()
         self.stats.graph_memory_bytes = self.graph.graph_memory_bytes()
+        self.stats.intern = self.family.intern_stats()

@@ -121,10 +121,9 @@ class WaveSolver(GraphSolver):
             delta = [loc for loc in pts if loc not in prev]
             if not delta:
                 continue
-            delta_set = self.family.make()
             for loc in delta:
                 prev.add(loc)
-                delta_set.add(loc)
+            delta_set = self.family.make_from(delta)
             for succ in list(graph.successors(node)):
                 self.stats.propagations += 1
                 if graph.pts_of(succ).ior_and_test(delta_set):

@@ -174,10 +174,9 @@ class WaveParallelSolver(WaveSolver):
                 fresh = [loc for loc in pts if loc not in prev]
                 if not fresh:
                     continue
-                delta = self.family.make()
                 for loc in fresh:
                     prev.add(loc)
-                    delta.add(loc)
+                delta = self.family.make_from(fresh)
             successors = sorted(set(graph.successors(node)))
             if not successors:
                 continue

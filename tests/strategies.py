@@ -9,6 +9,11 @@ from hypothesis import strategies as st
 
 from repro.constraints.builder import ConstraintBuilder
 from repro.constraints.model import ConstraintSystem
+from repro.points_to.interface import FAMILY_KINDS
+
+#: Draw one of the registered points-to representations, so differential
+#: tests cover bitmap, shared (hash-consed), and BDD sets uniformly.
+pts_families = st.sampled_from(FAMILY_KINDS)
 
 
 @st.composite

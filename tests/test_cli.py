@@ -75,6 +75,27 @@ class TestSolve:
         assert code == 0
         assert "p -> {x}" in out
 
+    def test_shared_representation(self, constraint_file, capsys):
+        code, out, _ = run_cli(
+            ["solve", constraint_file, "--pts", "shared"], capsys
+        )
+        assert code == 0
+        assert "p -> {x}" in out
+
+    def test_shared_matches_bitmap_output(self, constraint_file, capsys):
+        _, bitmap_out, _ = run_cli(["solve", constraint_file], capsys)
+        _, shared_out, _ = run_cli(
+            ["solve", constraint_file, "--pts", "shared"], capsys
+        )
+        assert shared_out == bitmap_out
+
+    def test_shared_stats_counters(self, constraint_file, capsys):
+        code, out, _ = run_cli(
+            ["solve", constraint_file, "--pts", "shared", "--stats"], capsys
+        )
+        assert code == 0
+        assert "intern_live_nodes" in out
+
     def test_parallel_workers(self, constraint_file, capsys):
         code, out, _ = run_cli(
             ["solve", constraint_file, "--algorithm", "wave-par",

@@ -1,0 +1,208 @@
+"""Property tests for the hash-consing intern table.
+
+Three invariants carry the whole ``shared`` family:
+
+1. **canonical-id uniqueness** — equal content always resolves to the
+   same node (and id); distinct content never shares one;
+2. **memo-cache correctness under eviction** — a bounded memo may only
+   change *speed*, never results, including when entries are evicted
+   and recomputed;
+3. **no aliasing from in-place mutation** — interned nodes are frozen:
+   no operation on any handle may change the contents of a node other
+   handles alias.
+"""
+
+import gc
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastructs.intern_table import InternTable
+from repro.datastructs.sparse_bitmap import SparseBitmap
+from repro.points_to.shared_set import SharedPointsToFamily
+
+locs = st.integers(0, 600)
+loc_lists = st.lists(locs, max_size=40)
+
+
+class TestCanonicalUniqueness:
+    def test_equal_content_same_node(self):
+        table = InternTable()
+        a = table.intern(SparseBitmap([3, 200, 7]))
+        b = table.intern(SparseBitmap([7, 3, 200]))  # different build order
+        assert a is b
+        assert a.id == b.id
+
+    def test_distinct_content_distinct_ids(self):
+        table = InternTable()
+        a = table.intern(SparseBitmap([1]))
+        b = table.intern(SparseBitmap([2]))
+        assert a is not b
+        assert a.id != b.id
+
+    def test_empty_is_pinned_and_canonical(self):
+        table = InternTable()
+        assert table.intern(SparseBitmap()) is table.empty
+        assert table.node_from_iter([]) is table.empty
+
+    def test_ids_monotonic_never_reused(self):
+        table = InternTable()
+        first = table.intern(SparseBitmap([1]))
+        first_id = first.id
+        del first
+        gc.collect()
+        again = table.intern(SparseBitmap([1]))
+        assert again.id > first_id  # recreated, not resurrected
+
+    @given(loc_lists, loc_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_interning_is_content_keyed(self, xs, ys):
+        table = InternTable()
+        a = table.node_from_iter(xs)
+        b = table.node_from_iter(ys)
+        assert (a is b) == (set(xs) == set(ys))
+
+    def test_rejects_silly_capacity(self):
+        with pytest.raises(ValueError):
+            InternTable(memo_capacity=0)
+
+
+class TestUnionAlgebra:
+    @given(loc_lists, loc_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_union_matches_set_algebra(self, xs, ys):
+        table = InternTable()
+        a = table.node_from_iter(xs)
+        b = table.node_from_iter(ys)
+        u = table.union(a, b)
+        assert set(u.bits) == set(xs) | set(ys)
+        # Commutative, canonical: the mirrored call is the same node.
+        assert table.union(b, a) is u
+        # Idempotent and absorbing.
+        assert table.union(u, a) is u
+        assert table.union(u, u) is u
+
+    def test_identity_and_empty_fast_paths_skip_memo(self):
+        table = InternTable()
+        a = table.node_from_iter([1, 2])
+        before = table.union_memo_hits + table.union_memo_misses
+        assert table.union(a, a) is a
+        assert table.union(a, table.empty) is a
+        assert table.union(table.empty, a) is a
+        assert table.union_memo_hits + table.union_memo_misses == before
+
+    def test_subset_operands_return_existing_nodes(self):
+        table = InternTable()
+        big = table.node_from_iter([1, 2, 3, 400])
+        small = table.node_from_iter([2, 400])
+        created = table.nodes_created
+        assert table.union(big, small) is big
+        assert table.union(small, big) is big
+        assert table.nodes_created == created  # no new node interned
+
+    def test_repeated_union_is_a_memo_hit(self):
+        table = InternTable()
+        a = table.node_from_iter([1, 130])
+        b = table.node_from_iter([2, 260])
+        first = table.union(a, b)
+        hits = table.union_memo_hits
+        assert table.union(a, b) is first
+        assert table.union_memo_hits == hits + 1
+
+
+class TestMemoEviction:
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_tiny_cache_never_changes_results(self, pairs):
+        """A 2-entry memo thrashes constantly; results must not care."""
+        table = InternTable(memo_capacity=2)
+        pool = [table.node_from_iter(range(i * 7, i * 7 + i + 1)) for i in range(6)]
+        for i, j in pairs:
+            u = table.union(pool[i], pool[j])
+            assert set(u.bits) == set(pool[i].bits) | set(pool[j].bits)
+
+    def test_eviction_counter_moves(self):
+        table = InternTable(memo_capacity=2)
+        pool = [table.node_from_iter([i, i + 300]) for i in range(8)]
+        for i in range(len(pool) - 1):
+            table.union(pool[i], pool[i + 1])
+        assert table.memo_evictions > 0
+
+    def test_dead_memo_entry_recomputes_correctly(self):
+        """A memoized result whose node died must recompute, not alias."""
+        table = InternTable()
+        a = table.node_from_iter([1])
+        b = table.node_from_iter([2])
+        u = table.union(a, b)
+        expected = set(u.bits)
+        del u
+        gc.collect()
+        again = table.union(a, b)
+        assert set(again.bits) == expected
+
+    def test_add_memo_hit(self):
+        table = InternTable()
+        a = table.node_from_iter([1])
+        first = table.with_added(a, 9)
+        hits = table.add_memo_hits
+        assert table.with_added(a, 9) is first
+        assert table.add_memo_hits == hits + 1
+        assert table.with_added(a, 1) is a  # already-set bit: identity
+
+
+class TestNoAliasing:
+    @given(loc_lists, loc_lists, locs)
+    @settings(max_examples=80, deadline=None)
+    def test_operations_never_mutate_operands(self, xs, ys, extra):
+        table = InternTable()
+        a = table.node_from_iter(xs)
+        b = table.node_from_iter(ys)
+        snap_a, snap_b = set(a.bits), set(b.bits)
+        table.union(a, b)
+        table.with_added(a, extra)
+        assert set(a.bits) == snap_a
+        assert set(b.bits) == snap_b
+
+    @given(loc_lists, locs)
+    @settings(max_examples=60, deadline=None)
+    def test_handle_mutation_splits_instead_of_aliasing(self, xs, extra):
+        family = SharedPointsToFamily()
+        a = family.make_from(xs)
+        b = a.copy()
+        assert a.same_as(b)  # copy is free: same node
+        changed = b.add(extra)
+        assert set(a) == set(xs)
+        assert set(b) == set(xs) | {extra}
+        assert changed == (extra not in set(xs))
+        if changed:
+            assert not a.same_as(b)
+
+    def test_ior_into_self_handle_is_noop(self):
+        family = SharedPointsToFamily()
+        a = family.make_from([1, 2])
+        b = a.copy()
+        assert a.ior_and_test(b) is False
+        assert a.same_as(b)
+
+
+class TestLifecycleAndAccounting:
+    def test_dead_nodes_leave_the_table(self):
+        table = InternTable()
+        nodes = [table.node_from_iter([i, i + 1000]) for i in range(20)]
+        alive = table.live_count
+        assert alive >= 21  # 20 values + pinned empty
+        del nodes
+        gc.collect()
+        assert table.live_count < alive
+        assert table.peak_nodes >= alive  # peak is sticky
+
+    def test_memory_counts_each_value_once(self):
+        family = SharedPointsToFamily()
+        handles = [family.make_from([1, 2, 3]) for _ in range(50)]
+        fifty = family.memory_bytes()
+        one = InternTable().memory_bytes()  # just the pinned empty node
+        # 50 identical sets cost one node over the empty baseline.
+        single = SparseBitmap([1, 2, 3]).memory_bytes() + InternTable.BYTES_PER_ENTRY
+        assert fifty == one + single
+        assert len(handles) == 50

@@ -1,4 +1,4 @@
-"""Tests for the two points-to set representations behind one protocol."""
+"""Tests for the three points-to set representations behind one protocol."""
 
 import pytest
 from hypothesis import given, settings
@@ -6,9 +6,10 @@ from hypothesis import strategies as st
 
 from repro.points_to.bdd_set import BDDPointsToFamily
 from repro.points_to.bitmap_set import BitmapPointsToFamily
-from repro.points_to.interface import PointsToSet, make_family
+from repro.points_to.interface import FAMILY_KINDS, PointsToSet, make_family
+from repro.points_to.shared_set import SharedPointsToFamily
 
-FAMILIES = ["bitmap", "bdd"]
+FAMILIES = list(FAMILY_KINDS)
 locs = st.integers(0, 99)
 loc_lists = st.lists(locs, max_size=30)
 
@@ -20,8 +21,8 @@ def family(request):
 
 class TestProtocol:
     def test_factory_names(self):
-        assert make_family("bitmap", 10).name == "bitmap"
-        assert make_family("bdd", 10).name == "bdd"
+        for kind in FAMILY_KINDS:
+            assert make_family(kind, 10).name == kind
 
     def test_factory_rejects_unknown(self):
         with pytest.raises(ValueError):
@@ -116,6 +117,34 @@ class TestFamilySpecific:
         gc.collect()
         assert family.memory_bytes() < before
 
+    def test_shared_equal_sets_share_one_node(self):
+        family = SharedPointsToFamily()
+        a, b = family.make(), family.make()
+        for loc in (3, 30, 44):
+            a.add(loc)
+        for loc in (44, 3, 30):
+            b.add(loc)
+        # Canonicity within a shared table: same set, same node.
+        assert a.node is b.node
+        assert a.same_as(b)
+
+    def test_shared_copy_is_free_until_mutation(self):
+        family = SharedPointsToFamily()
+        a = family.make_from([1, 2])
+        b = a.copy()
+        assert b.node is a.node
+        b.add(3)
+        assert b.node is not a.node
+        assert sorted(a) == [1, 2]
+
+    def test_shared_memory_counts_shared_value_once(self):
+        family = SharedPointsToFamily()
+        first = family.make_from(range(0, 2000, 130))
+        baseline = family.memory_bytes()
+        clones = [first.copy() for _ in range(20)]
+        assert family.memory_bytes() == baseline  # twenty handles, one node
+        assert len(clones) == 20
+
     def test_bdd_pool_accounting_monotone(self):
         family = BDDPointsToFamily(100)
         base = family.memory_bytes()
@@ -156,9 +185,11 @@ class TestProperties:
     @given(xs=loc_lists)
     @settings(max_examples=40, deadline=None)
     def test_representations_agree(self, xs):
-        bitmap = make_family("bitmap", 100).make()
-        bdd = make_family("bdd", 100).make()
+        sets = [make_family(kind, 100).make() for kind in FAMILIES]
+        reference = sets[0]
         for x in xs:
-            assert bitmap.add(x) == bdd.add(x)
-        assert sorted(bitmap) == sorted(bdd)
-        assert len(bitmap) == len(bdd)
+            novelties = {s.add(x) for s in sets}
+            assert len(novelties) == 1
+        for other in sets[1:]:
+            assert sorted(reference) == sorted(other)
+            assert len(reference) == len(other)

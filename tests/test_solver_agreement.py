@@ -12,6 +12,8 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from conftest import random_system
+from strategies import constraint_systems, pts_families
+from repro.points_to.interface import FAMILY_KINDS
 from repro.preprocess.ovs import offline_variable_substitution
 from repro.solvers.registry import available_solvers, solve
 from repro.workloads import generate_workload
@@ -30,8 +32,8 @@ class TestFixedSystems:
         assert solve(cycle_system, algorithm) == solve(cycle_system, "naive")
 
     @pytest.mark.parametrize("algorithm", ALGORITHMS)
-    @pytest.mark.parametrize("pts", ["bitmap", "bdd"])
-    def test_both_representations(self, simple_system, algorithm, pts):
+    @pytest.mark.parametrize("pts", list(FAMILY_KINDS))
+    def test_all_representations(self, simple_system, algorithm, pts):
         assert solve(simple_system, algorithm, pts=pts) == solve(simple_system, "naive")
 
 
@@ -83,6 +85,58 @@ class TestRandomizedDifferential:
         for strategy in ("fifo", "lifo", "lrf", "divided-lrf", "divided-fifo"):
             solver = make_solver(system, "lcd", worklist=strategy)
             assert solver.solve() == reference, strategy
+
+
+class TestSharedFamily:
+    """The hash-consed family must be *bit-identical* to bitmaps: same
+    solver, same input, same solution, for every registered algorithm."""
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_every_solver_on_fixtures(self, simple_system, cycle_system, algorithm):
+        for system in (simple_system, cycle_system):
+            assert solve(system, algorithm, pts="shared") == solve(
+                system, algorithm, pts="bitmap"
+            ), algorithm
+
+    @pytest.mark.parametrize("name", ["emacs", "wine", "linux"])
+    def test_workloads_bit_identical(self, name):
+        system = generate_workload(name, scale=1 / 512, seed=2)
+        reference = solve(system, "naive", pts="bitmap")
+        for algorithm in ("lcd", "hcd", "lcd+hcd", "wave"):
+            assert solve(system, algorithm, pts="shared") == reference, algorithm
+        for workers in (1, 2):
+            assert (
+                solve(system, "wave-par", pts="shared", workers=workers) == reference
+            ), workers
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_random_systems_agree(self, seed):
+        system = random_system(seed)
+        reference = solve(system, "naive")
+        for algorithm in ("lcd", "lcd+hcd", "ht", "pkh", "hcd", "wave"):
+            result = solve(system, algorithm, pts="shared")
+            assert result == reference, (algorithm, result.diff(reference))
+
+    @given(system=constraint_systems(), pts=pts_families)
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_generated_systems_across_families(self, system, pts):
+        """Hypothesis-shrinkable differential over all three families."""
+        assert solve(system, "lcd+hcd", pts=pts) == solve(system, "naive")
+
+    def test_shared_stats_populated(self):
+        from repro.solvers.registry import make_solver
+
+        system = generate_workload("emacs", scale=1 / 512, seed=2)
+        solver = make_solver(system, "lcd+hcd", pts="shared")
+        solver.solve()
+        stats = solver.stats
+        assert stats.intern is not None
+        assert stats.intern.live_nodes >= 1  # at least the pinned empty set
+        assert stats.intern.peak_nodes >= stats.intern.live_nodes
+        assert "intern_union_memo_hits" in stats.as_dict()
+        # Sharing: far fewer canonical values than set handles.
+        assert stats.intern.live_nodes < solver.family.sets_made
 
 
 class TestMetamorphic:

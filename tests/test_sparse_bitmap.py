@@ -126,6 +126,56 @@ class TestSetOps:
         assert SparseBitmap([1, 2]) == {1, 2}
         assert SparseBitmap([1]) != {1, 2}
 
+    def test_ior_self_is_noop(self):
+        """The identity short-circuit: self-union reports no change and
+        must not disturb contents or the cached count."""
+        a = SparseBitmap([1, 200, 4097])
+        assert a.ior_and_test(a) is False
+        assert sorted(a) == [1, 200, 4097]
+        assert len(a) == 3
+
+    def test_ior_empty_other_short_circuits(self):
+        a = SparseBitmap([1, 2])
+        assert a.ior_and_test(SparseBitmap()) is False
+        assert sorted(a) == [1, 2]
+
+    def test_same_as_identity(self):
+        a = SparseBitmap([5, 300])
+        assert a.same_as(a) is True
+
+    def test_same_as_equal_and_unequal(self):
+        a = SparseBitmap([1, 2, 500])
+        b = SparseBitmap([500, 2, 1])
+        assert a.same_as(b) is True
+        b.add(7)
+        assert a.same_as(b) is False
+
+    def test_same_as_popcount_early_exit(self):
+        """Count mismatch must decide without touching blocks: poison the
+        block dicts with unequal shadows and rely on counts alone."""
+        a = SparseBitmap([1])
+        b = SparseBitmap([1, 2])
+        blocks_reads = []
+
+        class Spy(dict):
+            def __eq__(self, other):  # pragma: no cover - must not run
+                blocks_reads.append(True)
+                return dict.__eq__(self, other)
+
+            __hash__ = None
+
+        a._blocks = Spy(a._blocks)
+        b._blocks = Spy(b._blocks)
+        assert a.same_as(b) is False
+        assert blocks_reads == []
+
+    def test_content_key_is_canonical(self):
+        a = SparseBitmap([1, 300, 4097])
+        b = SparseBitmap([4097, 1, 300])
+        assert a.content_key() == b.content_key()
+        assert a.content_key() != SparseBitmap([1, 300]).content_key()
+        hash(a.content_key())  # usable as a dict key
+
     def test_copy_is_independent(self):
         a = SparseBitmap([1])
         b = a.copy()
