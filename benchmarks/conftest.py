@@ -50,6 +50,7 @@ _workload_cache: Dict[str, OVSResult] = {}
 _run_cache: Dict[Tuple[str, str, str], BaseSolver] = {}
 _tables: List[Table] = []
 _bench_records: List[Dict] = []
+_extra_records: List[Dict] = []
 
 
 def workload(name: str) -> OVSResult:
@@ -93,11 +94,18 @@ def emit_table(table: Table) -> None:
     _tables.append(table)
 
 
+def record_extra(record: Dict) -> None:
+    """Attach a non-solver measurement (e.g. certifier timings) to the
+    session's BENCH_repr.json under the ``extra`` key.  Records need a
+    ``kind`` field so downstream diffs can group them."""
+    _extra_records.append(record)
+
+
 def pytest_sessionfinish(session):  # pragma: no cover - hook
     """Dump every timed run as machine-readable JSON so the perf
     trajectory (time and peak bytes per solver/family/workload) can be
     tracked across PRs."""
-    if not _bench_records:
+    if not _bench_records and not _extra_records:
         return
     payload = {
         "scale_denominator": SCALE_DENOMINATOR,
@@ -106,6 +114,12 @@ def pytest_sessionfinish(session):  # pragma: no cover - hook
             key=lambda r: (r["workload"], r["solver"], r["pts"]),
         ),
     }
+    if _extra_records:
+        payload["extra"] = sorted(
+            _extra_records,
+            key=lambda r: (r.get("kind", ""), r.get("workload", ""),
+                           r.get("solver", "")),
+        )
     with open(BENCH_JSON_PATH, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")

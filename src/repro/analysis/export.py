@@ -48,7 +48,9 @@ def solution_from_json(text: str, system: ConstraintSystem) -> PointsToSolution:
         index[var]: [index[loc] for loc in locs]
         for var, locs in data["points_to"].items()
     }
-    return PointsToSolution(mapping, system.num_vars, system.names)
+    return PointsToSolution(
+        mapping, system.num_vars, system.names, num_locs=system.num_vars
+    )
 
 
 _EDGE_STYLE = {

@@ -22,8 +22,15 @@ class PointsToSolution:
         points_to: Mapping[int, Iterable[int]],
         num_vars: int,
         names: Optional[Sequence[str]] = None,
+        num_locs: Optional[int] = None,
     ) -> None:
+        """``num_locs`` bounds the pointee ids (defaults to ``num_vars``,
+        since locations live in the same id space as variables).  A
+        pointee outside ``[0, num_locs)`` means the producing solver
+        corrupted a set, so it is rejected here rather than surfacing as
+        a nonsense fact in a downstream client."""
         self._num_vars = num_vars
+        self._num_locs = num_locs if num_locs is not None else num_vars
         self._names = tuple(names) if names is not None else None
         self._points_to: Dict[int, FrozenSet[int]] = {}
         for var, locs in points_to.items():
@@ -31,6 +38,13 @@ class PointsToSolution:
                 raise ValueError(f"variable id {var} out of range")
             frozen = frozenset(locs)
             if frozen:
+                # min/max bound-check the whole set at C speed.
+                if min(frozen) < 0 or max(frozen) >= self._num_locs:
+                    bad = min(frozen) if min(frozen) < 0 else max(frozen)
+                    raise ValueError(
+                        f"pointee id {bad} in pts({var}) outside "
+                        f"[0, {self._num_locs})"
+                    )
                 self._points_to[var] = frozen
 
     # ------------------------------------------------------------------
@@ -41,11 +55,20 @@ class PointsToSolution:
     def num_vars(self) -> int:
         return self._num_vars
 
+    @property
+    def num_locs(self) -> int:
+        return self._num_locs
+
     def points_to(self, var: int) -> FrozenSet[int]:
         """Locations ``var`` may point to (empty frozenset if none)."""
         if not 0 <= var < self._num_vars:
             raise ValueError(f"variable id {var} out of range")
         return self._points_to.get(var, frozenset())
+
+    def items(self) -> Iterable[tuple]:
+        """The non-empty ``(var, pointee frozenset)`` pairs, unordered —
+        the bulk-access path (one dict walk, no per-variable calls)."""
+        return self._points_to.items()
 
     def name_of(self, var: int) -> str:
         if self._names is not None:
@@ -118,4 +141,6 @@ class PointsToSolution:
             var: self._points_to.get(var_to_rep[var], frozenset())
             for var in range(self._num_vars)
         }
-        return PointsToSolution(expanded, self._num_vars, self._names)
+        return PointsToSolution(
+            expanded, self._num_vars, self._names, num_locs=self._num_locs
+        )

@@ -9,6 +9,8 @@ solutions and statistics out.
     python -m repro analyze FILE.c [--query main::p ...] [--callgraph]
     python -m repro generate BENCHMARK [--scale 128] [--seed 1] [-o FILE]
     python -m repro compare FILE [--algorithms ht,pkh,lcd+hcd]
+    python -m repro verify FILE [--algorithms all] [--pts all] [--sanitize]
+    python -m repro reduce FILE --check certify|disagree [-o OUT.cons]
     python -m repro stats FILE
 """
 
@@ -26,6 +28,7 @@ from repro.metrics.reporting import Table
 from repro.points_to.interface import FAMILY_KINDS
 from repro.preprocess.ovs import offline_variable_substitution
 from repro.solvers.registry import available_solvers, make_solver
+from repro.verify.sanitizer import InvariantViolation
 from repro.workloads import BENCHMARK_ORDER, generate_workload
 
 
@@ -41,7 +44,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     if args.ovs:
         ovs = offline_variable_substitution(system)
         target = ovs.reduced
-    solver = make_solver(target, args.algorithm, pts=args.pts, workers=args.workers)
+    solver = make_solver(
+        target, args.algorithm, pts=args.pts, workers=args.workers,
+        sanitize=args.sanitize,
+    )
     solution = solver.solve()
     if ovs is not None:
         solution = ovs.expand(solution)
@@ -141,7 +147,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     reference = None
     for algorithm in algorithms:
         solver = make_solver(
-            system, algorithm.strip(), pts=args.pts, workers=args.workers
+            system, algorithm.strip(), pts=args.pts, workers=args.workers,
+            sanitize=args.sanitize,
         )
         solution = solver.solve()
         if reference is None:
@@ -160,6 +167,83 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             ]
         )
     print(table.render())
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify.certifier import certify
+
+    system = _read_system(args.file)
+    if args.algorithms == "all":
+        algorithms = available_solvers()
+    else:
+        algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+    families = list(FAMILY_KINDS) if args.pts == "all" else [args.pts]
+
+    table = Table(
+        f"certification on {args.file}",
+        ["algorithm", "pts", "verdict", "facts", "checks",
+         "solve (s)", "certify (s)"],
+    )
+    failures = []
+    for algorithm in algorithms:
+        for family in families:
+            solver = make_solver(
+                system, algorithm, pts=family, workers=args.workers,
+                sanitize=args.sanitize,
+            )
+            solution = solver.solve()
+            report = certify(system, solution)
+            table.add_row(
+                [
+                    solver.full_name,
+                    family,
+                    "ACCEPT" if report.ok else "REJECT",
+                    report.claimed_facts,
+                    report.facts_checked,
+                    solver.stats.solve_seconds,
+                    report.total_seconds,
+                ]
+            )
+            if not report.ok:
+                failures.append((solver.full_name, family, report))
+    print(table.render())
+    for name, family, report in failures:
+        print(f"\n{name} / {family}:", file=sys.stderr)
+        print(report.summary(system), file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_reduce(args: argparse.Namespace) -> int:
+    from repro.verify.reduce import (
+        certifier_rejects,
+        minimize_system,
+        solvers_disagree,
+    )
+
+    system = _read_system(args.file)
+    if args.check == "certify":
+        predicate = certifier_rejects(
+            args.algorithm, pts=args.pts, workers=args.workers,
+            sanitize=args.sanitize,
+        )
+    else:
+        predicate = solvers_disagree(
+            args.algorithm, args.against, pts_a=args.pts, pts_b=args.pts,
+            workers=args.workers,
+        )
+    result = minimize_system(system, predicate)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            result.write(handle)
+    else:
+        result.write(sys.stdout)
+    print(
+        f"minimized {len(system)} -> {len(result)} constraints "
+        f"({len(result.pinned)} pinned, {result.tests_run} predicate runs)"
+        + (f"; wrote {args.output}" if args.output else ""),
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -224,6 +308,11 @@ def build_parser() -> argparse.ArgumentParser:
         "results are identical at any count",
     )
     p_solve.add_argument("--ovs", action="store_true", help="pre-process with OVS")
+    p_solve.add_argument(
+        "--sanitize", action="store_true",
+        help="install solver invariant checks (collapse consistency, "
+        "monotone growth, LCD/intern invariants); aborts on violation",
+    )
     p_solve.add_argument("--all", action="store_true", help="print empty sets too")
     p_solve.add_argument("--stats", action="store_true", help="print solver counters")
     p_solve.add_argument("--json", action="store_true", help="emit JSON instead of text")
@@ -271,7 +360,78 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker processes for parallel solvers (wave-par)",
     )
+    p_compare.add_argument(
+        "--sanitize", action="store_true",
+        help="install solver invariant checks on every run",
+    )
     p_compare.set_defaults(func=_cmd_compare)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="solve and independently certify (soundness + precision)",
+    )
+    p_verify.add_argument("file")
+    p_verify.add_argument(
+        "--algorithms",
+        default="lcd+hcd",
+        help="comma-separated solver names, or 'all' for every "
+        "inclusion-based configuration",
+    )
+    p_verify.add_argument(
+        "--pts",
+        default="bitmap",
+        choices=list(FAMILY_KINDS) + ["all"],
+        help="points-to representation, or 'all' for every family",
+    )
+    p_verify.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for parallel solvers (wave-par)",
+    )
+    p_verify.add_argument(
+        "--sanitize", action="store_true",
+        help="also install solver invariant checks while solving",
+    )
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_reduce = sub.add_parser(
+        "reduce",
+        help="delta-debug a failing constraint file to a 1-minimal repro",
+    )
+    p_reduce.add_argument("file")
+    p_reduce.add_argument(
+        "--check",
+        default="certify",
+        choices=["certify", "disagree"],
+        help="failure predicate: the certifier rejects --algorithm's "
+        "solution, or --algorithm disagrees with --against",
+    )
+    p_reduce.add_argument(
+        "--algorithm",
+        default="lcd+hcd",
+        help=f"one of: {', '.join(available_solvers())}",
+    )
+    p_reduce.add_argument(
+        "--against",
+        default="naive",
+        help="second solver for --check disagree",
+    )
+    p_reduce.add_argument(
+        "--pts",
+        default="bitmap",
+        choices=list(FAMILY_KINDS),
+        help="points-to representation used while replaying",
+    )
+    p_reduce.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for parallel solvers (wave-par)",
+    )
+    p_reduce.add_argument(
+        "--sanitize", action="store_true",
+        help="treat sanitizer InvariantViolation as failure too "
+        "(--check certify)",
+    )
+    p_reduce.add_argument("-o", "--output", help="write the repro here")
+    p_reduce.set_defaults(func=_cmd_reduce)
 
     p_stats = sub.add_parser("stats", help="constraint-file statistics + OVS preview")
     p_stats.add_argument("file")
@@ -285,6 +445,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except InvariantViolation as exc:
+        # A --sanitize run tripped a solver invariant: report the
+        # structured context and exit distinctly from usage errors.
+        print(f"invariant violation: {exc}", file=sys.stderr)
+        return 2
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -172,7 +172,9 @@ def make_worklist(strategy: str = "divided-lrf") -> Worklist:
         factory = _STRATEGIES[strategy]
     except KeyError:
         known = ", ".join(sorted(_STRATEGIES))
-        raise ValueError(f"unknown worklist strategy {strategy!r}; known: {known}")
+        raise ValueError(
+            f"unknown worklist strategy {strategy!r}; known: {known}"
+        ) from None
     return factory()
 
 

@@ -18,11 +18,12 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.solution import PointsToSolution
 from repro.constraints.model import ConstraintSystem
-from repro.graph.constraint_graph import ConstraintGraph
-from repro.points_to.interface import PointsToFamily, make_family
 from repro.datastructs.intern_table import InternStats
 from repro.datastructs.sparse_bitmap import SparseBitmap
+from repro.graph.constraint_graph import ConstraintGraph
+from repro.points_to.interface import PointsToFamily, make_family
 from repro.preprocess.hcd_offline import HCDOfflineResult, hcd_offline_analysis
+from repro.verify.sanitizer import Sanitizer, VerifyStats
 
 
 @dataclass
@@ -74,6 +75,8 @@ class SolverStats:
     parallel: Optional[ParallelStats] = None
     #: Filled in by runs using the hash-consed "shared" points-to family.
     intern: Optional[InternStats] = None
+    #: Filled in by runs with the invariant sanitizer installed.
+    verify: Optional[VerifyStats] = None
 
     @property
     def total_memory_bytes(self) -> int:
@@ -100,6 +103,9 @@ class SolverStats:
         if self.intern is not None:
             for key, value in self.intern.as_dict().items():
                 data[f"intern_{key}"] = value
+        if self.verify is not None:
+            for key, value in self.verify.as_dict().items():
+                data[f"verify_{key}"] = value
         return data
 
 
@@ -114,11 +120,14 @@ class BaseSolver:
         system: ConstraintSystem,
         pts: str = "bitmap",
         hcd: bool = False,
+        sanitize: bool = False,
     ) -> None:
         self.system = system
         self.pts_kind = pts
         self.hcd_enabled = hcd
         self.stats = SolverStats()
+        #: Invariant checks at collapse/propagate boundaries (--sanitize).
+        self.sanitizer: Optional[Sanitizer] = Sanitizer(self) if sanitize else None
         self._solution: Optional[PointsToSolution] = None
         self.hcd_offline: Optional[HCDOfflineResult] = None
         if hcd:
@@ -131,6 +140,8 @@ class BaseSolver:
             start = time.perf_counter()
             self._solution = self._run()
             self.stats.solve_seconds = time.perf_counter() - start
+            if self.sanitizer is not None:
+                self.sanitizer.final_check()
             self._account_memory()
         return self._solution
 
@@ -161,8 +172,9 @@ class GraphSolver(BaseSolver):
         hcd: bool = False,
         worklist: str = "divided-lrf",
         difference_propagation: bool = False,
+        sanitize: bool = False,
     ) -> None:
-        super().__init__(system, pts=pts, hcd=hcd)
+        super().__init__(system, pts=pts, hcd=hcd, sanitize=sanitize)
         self.worklist_strategy = worklist
         #: Difference propagation (Pearce, Kelly & Hankin, SCAM 2003):
         #: offer successors only the pointees they have not seen, except
@@ -199,6 +211,8 @@ class GraphSolver(BaseSolver):
         old_reps = {self.graph.find(m) for m in member_list}
         rep, merged = self.graph.collapse(member_list)
         if merged:
+            if self.sanitizer is not None:
+                self.sanitizer.after_collapse(rep, member_list, old_reps)
             self.stats.nodes_collapsed += merged
             self.stats.cycles_collapsed += 1
             for old in old_reps:
@@ -354,6 +368,10 @@ class GraphSolver(BaseSolver):
     def propagate(self, node: int, push) -> None:
         """Propagate pts(node) to every successor; queue the changed ones."""
         graph = self.graph
+        if self.sanitizer is not None:
+            self.sanitizer.check_monotone(node)
+            for succ in list(graph.successors(node)):
+                self.sanitizer.check_monotone(succ)
         pts = graph.pts_of(node)
         # Canonical families make equality O(1): when source and target
         # already hold the same node id the union is skipped entirely —
@@ -405,7 +423,10 @@ class GraphSolver(BaseSolver):
         mapping = {
             var: list(graph.pts_of(var)) for var in range(self.system.num_vars)
         }
-        return PointsToSolution(mapping, self.system.num_vars, self.system.names)
+        return PointsToSolution(
+            mapping, self.system.num_vars, self.system.names,
+            num_locs=self.system.num_vars,
+        )
 
     def _account_memory(self) -> None:
         self.stats.pts_memory_bytes = self.family.memory_bytes()

@@ -47,8 +47,9 @@ class BLQSolver(BaseSolver):
         hcd: bool = False,
         worklist: str = "divided-lrf",  # accepted for interface parity; unused
         interleave: bool = True,
+        sanitize: bool = False,
     ) -> None:
-        super().__init__(system, pts=pts, hcd=hcd)
+        super().__init__(system, pts=pts, hcd=hcd, sanitize=sanitize)
         n = max(system.num_vars, 1)
         self._alloc = DomainAllocator(
             [("src", n), ("dst", n), ("obj", n)], interleave=interleave
@@ -371,7 +372,10 @@ class BLQSolver(BaseSolver):
         mapping = {
             var: self._pts_values(var) for var in range(self.system.num_vars)
         }
-        return PointsToSolution(mapping, self.system.num_vars, self.system.names)
+        return PointsToSolution(
+            mapping, self.system.num_vars, self.system.names,
+            num_locs=self.system.num_vars,
+        )
 
     def _account_memory(self) -> None:
         # BLQ's footprint is the BDD pool: every node the manager ever made.

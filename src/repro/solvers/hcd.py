@@ -30,6 +30,7 @@ class HCDSolver(NaiveSolver):
         hcd: bool = True,
         worklist: str = "divided-lrf",
         difference_propagation: bool = False,
+        sanitize: bool = False,
     ) -> None:
         # HCD *is* the algorithm here; it cannot be switched off.
         super().__init__(
@@ -38,6 +39,7 @@ class HCDSolver(NaiveSolver):
             hcd=True,
             worklist=worklist,
             difference_propagation=difference_propagation,
+            sanitize=sanitize,
         )
 
     @property

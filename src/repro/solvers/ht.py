@@ -43,8 +43,9 @@ class HTSolver(BaseSolver):
         pts: str = "bitmap",
         hcd: bool = False,
         worklist: str = "divided-lrf",  # accepted for interface parity; unused
+        sanitize: bool = False,
     ) -> None:
-        super().__init__(system, pts=pts, hcd=hcd)
+        super().__init__(system, pts=pts, hcd=hcd, sanitize=sanitize)
         self.family = make_family(pts, system.num_vars)
         n = system.num_vars
         self.uf = UnionFind(n)
@@ -126,7 +127,10 @@ class HTSolver(BaseSolver):
         mapping = {
             var: list(self._query(var)) for var in range(self.system.num_vars)
         }
-        return PointsToSolution(mapping, self.system.num_vars, self.system.names)
+        return PointsToSolution(
+            mapping, self.system.num_vars, self.system.names,
+            num_locs=self.system.num_vars,
+        )
 
     def _pointees_of(self, ptr: int, hcd_pairs) -> List[int]:
         """Query pts(ptr), applying any HCD pairs registered for ``ptr``."""

@@ -79,6 +79,8 @@ class LCDSolver(GraphSolver):
                 ):
                     if self.once_per_edge:
                         attempted.add(edge)
+                    if self.sanitizer is not None:
+                        self.sanitizer.on_lcd_trigger(edge)
                     self.stats.lcd_triggers += 1
                     self._detect_and_collapse(succ, worklist.push)
                     rep = graph.find(node)

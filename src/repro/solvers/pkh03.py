@@ -44,6 +44,7 @@ class PKH03Solver(GraphSolver):
         hcd: bool = False,
         worklist: str = "divided-lrf",
         difference_propagation: bool = False,
+        sanitize: bool = False,
     ) -> None:
         super().__init__(
             system,
@@ -51,6 +52,7 @@ class PKH03Solver(GraphSolver):
             hcd=hcd,
             worklist=worklist,
             difference_propagation=difference_propagation,
+            sanitize=sanitize,
         )
         self.topo = DynamicTopologicalOrder(system.num_vars)
         #: preds mirror of the successor sets, for the backward searches.

@@ -93,11 +93,14 @@ def make_solver(
     pts: str = "bitmap",
     worklist: str = "divided-lrf",
     workers: int = 1,
+    sanitize: bool = False,
 ) -> BaseSolver:
     """Instantiate a solver by name (without running it).
 
     ``workers`` sizes the worker pool of solvers that support one
-    (currently ``wave-par``); other solvers ignore it.
+    (currently ``wave-par``); other solvers ignore it.  ``sanitize``
+    installs the :mod:`repro.verify.sanitizer` invariant checks at the
+    solver's collapse/propagate boundaries.
     """
     name = algorithm.lower().strip()
     hcd = False
@@ -115,7 +118,9 @@ def make_solver(
     extra = {}
     if issubclass(solver_cls, WaveParallelSolver):
         extra["workers"] = workers
-    return solver_cls(system, pts=pts, hcd=hcd, worklist=worklist, **extra)
+    return solver_cls(
+        system, pts=pts, hcd=hcd, worklist=worklist, sanitize=sanitize, **extra
+    )
 
 
 def solve(
@@ -124,8 +129,10 @@ def solve(
     pts: str = "bitmap",
     worklist: str = "divided-lrf",
     workers: int = 1,
+    sanitize: bool = False,
 ) -> PointsToSolution:
     """One-call API: build the named solver and return its solution."""
     return make_solver(
-        system, algorithm, pts=pts, worklist=worklist, workers=workers
+        system, algorithm, pts=pts, worklist=worklist, workers=workers,
+        sanitize=sanitize,
     ).solve()

@@ -52,8 +52,9 @@ class SteensgaardSolver(BaseSolver):
         pts: str = "bitmap",  # accepted for interface parity; unused
         hcd: bool = False,  # HCD is meaningless under unification
         worklist: str = "divided-lrf",  # unused
+        sanitize: bool = False,
     ) -> None:
-        super().__init__(system, pts=pts, hcd=False)
+        super().__init__(system, pts=pts, hcd=False, sanitize=sanitize)
         n = system.num_vars
         self.uf = UnionFind(n)
         #: pointee[c] — the class this class's members point to (or None).
@@ -211,7 +212,10 @@ class SteensgaardSolver(BaseSolver):
             locs = by_class.get(self.uf.find(pointee))
             if locs:
                 mapping[var] = locs
-        return PointsToSolution(mapping, self.system.num_vars, self.system.names)
+        return PointsToSolution(
+            mapping, self.system.num_vars, self.system.names,
+            num_locs=self.system.num_vars,
+        )
 
     def _account_memory(self) -> None:
         # One pointee slot and one parent entry per class.

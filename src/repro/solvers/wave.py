@@ -103,6 +103,8 @@ class WaveSolver(GraphSolver):
         changed = False
         for node in order:
             node = graph.find(node)
+            if self.sanitizer is not None:
+                self.sanitizer.check_monotone(node)
             pts = graph.pts_of(node)
             # Edges inserted since this node's last wave carry everything.
             fresh_edges = graph.fresh_edges[node]

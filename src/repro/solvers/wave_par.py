@@ -135,6 +135,9 @@ class WaveParallelSolver(WaveSolver):
     def _process_level(self, level: List[int]) -> bool:
         graph = self.graph
         changed = False
+        if self.sanitizer is not None:
+            for node in level:
+                self.sanitizer.check_monotone(node)
 
         # Fresh edges (inserted by the last batch-resolution phase) carry
         # the full set once, exactly as in the sequential wave.  Their

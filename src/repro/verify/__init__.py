@@ -1,0 +1,52 @@
+"""Independent verification layer: certifier, sanitizer, minimizer.
+
+Every correctness claim in this repository used to rest on
+solver-vs-solver agreement; this package adds tooling that does not
+trust any solver:
+
+- :mod:`~repro.verify.certifier` — check a claimed
+  :class:`~repro.analysis.solution.PointsToSolution` for *soundness*
+  (closure under the Andersen rules, one linear pass per rule) and
+  *precision* (every fact has a derivation from a base constraint),
+  sharing no code with :mod:`repro.solvers`;
+- :mod:`~repro.verify.sanitizer` — ``--sanitize`` mode: invariant
+  checks installed at the solvers' collapse/propagate boundaries,
+  raising a structured :class:`InvariantViolation` on the first break;
+- :mod:`~repro.verify.reduce` — a ddmin delta debugger shrinking a
+  failing constraint file to a locally minimal replayable repro.
+
+Pavlogiannis ("The Fine-Grained Complexity of Andersen's Pointer
+Analysis") shows solving is inherently near-cubic while *checking* a
+claimed solution is near-linear in its size — certification is
+asymptotically cheap insurance for every solver, preprocessor, and
+points-to family.
+"""
+
+from repro.verify.certifier import (
+    CertificationReport,
+    SoundnessViolation,
+    SpuriousFact,
+    certify,
+)
+from repro.verify.reduce import (
+    MinimizationResult,
+    certifier_rejects,
+    ddmin,
+    minimize_system,
+    solvers_disagree,
+)
+from repro.verify.sanitizer import InvariantViolation, Sanitizer
+
+__all__ = [
+    "CertificationReport",
+    "InvariantViolation",
+    "MinimizationResult",
+    "Sanitizer",
+    "SoundnessViolation",
+    "SpuriousFact",
+    "certifier_rejects",
+    "certify",
+    "ddmin",
+    "minimize_system",
+    "solvers_disagree",
+]

@@ -35,7 +35,7 @@ def generate_c_program(seed: int = 1, n_functions: int = 4, statements_per_fn: i
     globals_ = ["g0", "g1", "g2"]
     gptrs = ["gp0", "gp1"]
 
-    for index, fn in enumerate(fn_names):
+    for _index, fn in enumerate(fn_names):
         body: List[str] = []
         ptrs = ["a", "b"] + gptrs
         body.append("    int x0 = 0, x1 = 1;")
@@ -44,7 +44,7 @@ def generate_c_program(seed: int = 1, n_functions: int = 4, statements_per_fn: i
         body.append("    struct node n;")
         body.append("    struct node *np = &gn0;")
         ptrs += ["p0", "p1"]
-        for s in range(statements_per_fn):
+        for _s in range(statements_per_fn):
             choice = rng.randrange(10)
             if choice == 0:
                 body.append(f"    {rng.choice(ptrs)} = &{rng.choice(globals_)};")

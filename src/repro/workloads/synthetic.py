@@ -175,7 +175,7 @@ class _Generator:
         # and the partner variable is usually nearby (intra-function
         # locality) so indirect flow doesn't smear the whole program.
         deref_count = max(4, len(pointers) // 3)
-        for i in range(count):
+        for _i in range(count):
             index = rng.randrange(deref_count)
             pointer = pointers[index]
             if rng.random() < 0.8:

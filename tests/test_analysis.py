@@ -44,7 +44,9 @@ class TestSolution:
         assert diff[1]["only_other"] == {0}
 
     def test_expand(self):
-        sol = PointsToSolution({0: [5]}, 3)
+        # Pointee ids may outrange the (substituted) variable count, but
+        # only when the producer declares the wider location space.
+        sol = PointsToSolution({0: [5]}, 3, num_locs=6)
         expanded = sol.expand([0, 0, 2])
         assert expanded.points_to(1) == {5}
         assert expanded.points_to(2) == frozenset()

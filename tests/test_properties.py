@@ -8,13 +8,13 @@ constraint system.
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from strategies import constraint_systems
 from repro.constraints.parser import dumps_constraints, loads_constraints
 from repro.preprocess.hcd_offline import hcd_offline_analysis
 from repro.preprocess.ovs import offline_variable_substitution
 from repro.solvers.hcd import HCDSolver
 from repro.solvers.lcd import LCDSolver
 from repro.solvers.registry import solve
+from strategies import constraint_systems
 
 COMMON = dict(
     deadline=None,

@@ -12,11 +12,11 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from conftest import random_system
-from strategies import constraint_systems, pts_families
 from repro.points_to.interface import FAMILY_KINDS
 from repro.preprocess.ovs import offline_variable_substitution
 from repro.solvers.registry import available_solvers, solve
 from repro.workloads import generate_workload
+from strategies import constraint_systems, pts_families
 
 ALGORITHMS = available_solvers()
 GRAPH_ALGORITHMS = [a for a in ALGORITHMS if not a.startswith("blq")]

@@ -2,6 +2,7 @@
 
 import pytest
 
+from conftest import random_system
 from repro.constraints.builder import ConstraintBuilder
 from repro.solvers.blq import BLQSolver
 from repro.solvers.hcd import HCDSolver
@@ -10,7 +11,6 @@ from repro.solvers.lcd import LCDSolver
 from repro.solvers.naive import NaiveSolver
 from repro.solvers.pkh import PKHSolver
 from repro.solvers.registry import PAPER_ALGORITHMS, available_solvers, make_solver, solve
-from conftest import random_system
 
 ALL_SOLVER_CLASSES = [NaiveSolver, HTSolver, PKHSolver, BLQSolver, LCDSolver, HCDSolver]
 
