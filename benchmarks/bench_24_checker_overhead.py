@@ -1,0 +1,121 @@
+"""Extension — bug checking rides the solve nearly for free.
+
+Not a paper table: this prices the checker subsystem (``repro check``)
+the way bench_23 prices the certifier.  For every Table-5 workload the
+five built-in checkers interrogate the headline solver's solution, and
+the table reports the check/solve wall-time ratio — the geo-mean must
+stay **under 0.25x** at the default REPRO_SCALE=128, i.e. running every
+checker after every solve costs at most a quarter of the solve itself.
+
+The same run shows the paper's Section 2 precision argument on the
+checkers' own terms: for the *monotone* rules (``bad-indirect-call``,
+``dangling-stack-escape``) a coarser solution can only add findings, so
+the table also counts findings under ``lcd+hcd`` versus ``steensgaard``
+— the unification column is never smaller, and the delta is pure false
+positives (``tests/corpus/clean/steensgaard_fp.c`` pins a concrete one).
+"""
+
+import gc
+import statistics
+import time
+
+from conftest import (
+    SCALE_DENOMINATOR,
+    emit_table,
+    record_extra,
+    run_solver,
+    workload,
+)
+from repro.checkers import Severity, run_checkers
+from repro.metrics.reporting import Table, geometric_mean
+from repro.workloads import BENCHMARK_ORDER
+
+ALGORITHM = "lcd+hcd"
+BASELINE = "steensgaard"
+MONOTONE_RULES = ("bad-indirect-call", "dangling-stack-escape")
+
+
+def _monotone_count(report):
+    return sum(1 for d in report if d.rule in MONOTONE_RULES)
+
+
+def test_checker_overhead(benchmark):
+    def collect():
+        results = {}
+        for name in BENCHMARK_ORDER:
+            solver = run_solver(name, ALGORITHM)
+            system = workload(name).reduced
+            solution = solver.solve()
+            gc.collect()
+            samples = []
+            for _ in range(3):
+                started = time.perf_counter()
+                report = run_checkers(
+                    system, solution, min_severity=Severity.WARNING
+                )
+                samples.append(time.perf_counter() - started)
+            elapsed = statistics.median(samples)
+            coarse = run_checkers(
+                system,
+                run_solver(name, BASELINE).solve(),
+                min_severity=Severity.WARNING,
+            )
+            results[name] = (solver, report, coarse, elapsed)
+        return results
+
+    runs = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    table = Table(
+        f"Extension — check vs solve wall time ({ALGORITHM})",
+        [
+            "benchmark",
+            "findings",
+            f"monotone {ALGORITHM}",
+            f"monotone {BASELINE}",
+            "solve (s)",
+            "check (s)",
+            "ratio",
+        ],
+    )
+    ratios = []
+    for name, (solver, report, coarse, elapsed) in runs.items():
+        solve_seconds = solver.stats.solve_seconds
+        ratio = elapsed / solve_seconds if solve_seconds > 0 else 0.0
+        ratios.append(ratio)
+        precise_monotone = _monotone_count(report)
+        coarse_monotone = _monotone_count(coarse)
+        table.add_row(
+            [
+                name,
+                len(report),
+                precise_monotone,
+                coarse_monotone,
+                solve_seconds,
+                elapsed,
+                f"{ratio:.2f}x",
+            ]
+        )
+        record_extra(
+            {
+                "kind": "checker_overhead",
+                "workload": name,
+                "solver": solver.full_name,
+                "findings": len(report),
+                "monotone_findings": precise_monotone,
+                "monotone_findings_steensgaard": coarse_monotone,
+                "solve_seconds": solve_seconds,
+                "check_seconds": elapsed,
+                "ratio": ratio,
+            }
+        )
+        # Monotonicity is scale-independent: inclusion-based analysis
+        # never reports more than unification on these rules.
+        assert precise_monotone <= coarse_monotone, name
+    geo = geometric_mean(ratios)
+    table.add_row(["geo-mean", None, None, None, None, None, f"{geo:.2f}x"])
+    emit_table(table)
+
+    # Sub-millisecond smoke runs (large scale denominators) make the
+    # ratio pure noise; the budget claim gates on real work.
+    if SCALE_DENOMINATOR <= 128:
+        assert geo < 0.25, f"check/solve geo-mean {geo:.2f}x >= 0.25x"

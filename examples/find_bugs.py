@@ -1,0 +1,98 @@
+"""Bug hunting on top of the points-to solution.
+
+The paper's pitch is that a fast, precise pointer analysis unlocks
+compile-time checking at scale.  This example runs the built-in
+checkers over a small buggy program, prints the diagnostics with their
+provenance-derived source lines, exports SARIF, and then re-runs the
+same file under Steensgaard's unification-based analysis to show the
+precision argument of Section 2: the coarser solution fabricates a
+bad-indirect-call finding that inclusion-based analysis rules out.
+
+Run:  python examples/find_bugs.py
+"""
+
+from repro.checkers import Severity, run_checkers, to_sarif, validate_sarif
+from repro.frontend import generate_constraints
+from repro.solvers import solve
+
+SOURCE = """\
+int *cache;
+
+int remember() {
+    int slot;
+    int *scratch = (int *) malloc(8);
+    cache = &slot;
+    return 0;
+}
+
+int callee(int *a) {
+    return *a;
+}
+
+int x;
+int (*fp)(int *);
+int *dp;
+int *m;
+
+int main() {
+    int *p = NULL;
+    remember();
+    fp = &callee;
+    dp = &x;
+    m = fp;
+    m = dp;
+    fp(dp);
+    return *p;
+}
+"""
+
+
+def report_for(algorithm):
+    program = generate_constraints(SOURCE)
+    solution = solve(program.system, algorithm)
+    return run_checkers(
+        program.system,
+        solution,
+        program=program,
+        path="example.c",
+        min_severity=Severity.WARNING,
+    )
+
+
+def main() -> None:
+    report = report_for("lcd+hcd")
+    print("== findings (lcd+hcd) ==")
+    print(report.to_text())
+
+    expected = {
+        ("heap-leak", 5),
+        ("dangling-stack-escape", 6),
+        ("null-deref", 27),
+    }
+    assert {(d.rule, d.line) for d in report} == expected, report.to_text()
+
+    doc = to_sarif(report)
+    validate_sarif(doc)
+    results = doc["runs"][0]["results"]
+    print(f"SARIF {doc['version']}: {len(results)} results, "
+          f"{len(doc['runs'][0]['tool']['driver']['rules'])} rules")
+
+    # The precision demo: 'm' copies from both a function pointer and a
+    # data pointer.  Unification merges their pointee classes, so under
+    # Steensgaard pts(fp) picks up the data object and the indirect call
+    # looks dangerous; inclusion-based analysis keeps the flows apart.
+    coarse = report_for("steensgaard")
+    extra = [
+        d for d in coarse if d.rule == "bad-indirect-call"
+    ]
+    print("== extra findings under steensgaard ==")
+    for diag in extra:
+        print(f"  {diag.render()}")
+    assert extra, "expected a unification false positive"
+    assert not [d for d in report if d.rule == "bad-indirect-call"]
+    print("precision: lcd+hcd eliminates the false positive")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

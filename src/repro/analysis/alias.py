@@ -20,14 +20,13 @@ class AliasAnalysis:
         self.solution = solution
 
     def may_alias(self, a: int, b: int) -> bool:
-        """Whether ``*a`` and ``*b`` may denote the same location."""
-        pts_a = self.solution.points_to(a)
-        if not pts_a:
-            return False
-        pts_b = self.solution.points_to(b)
-        if len(pts_a) > len(pts_b):
-            pts_a, pts_b = pts_b, pts_a
-        return any(loc in pts_b for loc in pts_a)
+        """Whether ``*a`` and ``*b`` may denote the same location.
+
+        Delegates to :meth:`PointsToSolution.intersects`, which answers
+        through the solver's representation-native sets (bitmap/BDD AND)
+        when available.
+        """
+        return self.solution.intersects(a, b)
 
     def must_not_alias(self, a: int, b: int) -> bool:
         """Sound disjointness (the complement of :meth:`may_alias`)."""

@@ -11,7 +11,10 @@ solution).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Mapping, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.points_to.interface import PointsToSet
 
 
 class PointsToSolution:
@@ -23,13 +26,23 @@ class PointsToSolution:
         num_vars: int,
         names: Optional[Sequence[str]] = None,
         num_locs: Optional[int] = None,
+        backing: Optional[Mapping[int, "PointsToSet"]] = None,
     ) -> None:
         """``num_locs`` bounds the pointee ids (defaults to ``num_vars``,
         since locations live in the same id space as variables).  A
         pointee outside ``[0, num_locs)`` means the producing solver
         corrupted a set, so it is rejected here rather than surfacing as
-        a nonsense fact in a downstream client."""
+        a nonsense fact in a downstream client.
+
+        ``backing`` optionally maps variables to the solver's own
+        representation-native sets (bitmap/shared/BDD); :meth:`intersects`
+        answers through their native AND instead of a Python-level scan.
+        Backing never affects equality, hashing or the frozenset queries —
+        it is a query accelerator, not part of the solution's value."""
         self._num_vars = num_vars
+        self._backing: Optional[Dict[int, "PointsToSet"]] = (
+            dict(backing) if backing is not None else None
+        )
         self._num_locs = num_locs if num_locs is not None else num_vars
         self._names = tuple(names) if names is not None else None
         self._points_to: Dict[int, FrozenSet[int]] = {}
@@ -64,6 +77,28 @@ class PointsToSolution:
         if not 0 <= var < self._num_vars:
             raise ValueError(f"variable id {var} out of range")
         return self._points_to.get(var, frozenset())
+
+    def intersects(self, a: int, b: int) -> bool:
+        """True when ``pts(a)`` and ``pts(b)`` share a location.
+
+        The may-alias primitive.  When the producing solver attached its
+        native sets (``backing``), the test is one representation-level
+        AND — word-parallel bitmap blocks or a single BDD conjunction;
+        otherwise it falls back to ``frozenset.isdisjoint`` (still C
+        speed, but walks hash entries rather than words).
+        """
+        set_a = self.points_to(a)
+        if not set_a:
+            return False
+        set_b = self.points_to(b)
+        if not set_b:
+            return False
+        if self._backing is not None:
+            native_a = self._backing.get(a)
+            native_b = self._backing.get(b)
+            if native_a is not None and native_b is not None:
+                return native_a.intersects(native_b)
+        return not set_a.isdisjoint(set_b)
 
     def items(self) -> Iterable[tuple]:
         """The non-empty ``(var, pointee frozenset)`` pairs, unordered —
@@ -141,6 +176,14 @@ class PointsToSolution:
             var: self._points_to.get(var_to_rep[var], frozenset())
             for var in range(self._num_vars)
         }
+        backing: Optional[Dict[int, "PointsToSet"]] = None
+        if self._backing is not None:
+            backing = {}
+            for var in range(self._num_vars):
+                native = self._backing.get(var_to_rep[var])
+                if native is not None:
+                    backing[var] = native
         return PointsToSolution(
-            expanded, self._num_vars, self._names, num_locs=self._num_locs
+            expanded, self._num_vars, self._names, num_locs=self._num_locs,
+            backing=backing,
         )

@@ -1,0 +1,83 @@
+"""Points-to-powered bug checkers.
+
+The downstream client the paper's introduction promises: once the
+points-to relation is solved, a family of checkers interrogates it for
+definite bug patterns, and constraint *provenance* (threaded from the C
+front-end through builder, parser and minimizer) maps every finding
+back to a source line.  See ``docs/tutorial.md`` ("Checkers") for the
+walkthrough and ``docs/internals.md`` for the registry design.
+
+>>> from repro.checkers import run_checkers
+>>> from repro.frontend.generator import generate_constraints
+>>> from repro.solvers import solve
+>>> prog = generate_constraints("int *g;\\nint main() { int x; g = &x; return 0; }")
+>>> sol = solve(prog.system, "lcd+hcd")
+>>> [d.rule for d in run_checkers(prog.system, sol, program=prog)]
+['dangling-stack-escape']
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.solution import PointsToSolution
+from repro.checkers import checks as _checks  # noqa: F401  (registers built-ins)
+from repro.checkers.context import CheckContext
+from repro.checkers.diagnostics import CheckReport, Diagnostic, Severity
+from repro.checkers.registry import (
+    CheckerInfo,
+    checker_names,
+    get_checker,
+    register_checker,
+    registered_checkers,
+    select_checkers,
+)
+from repro.checkers.sarif import (
+    SarifValidationError,
+    from_sarif,
+    to_sarif,
+    validate_sarif,
+)
+from repro.constraints.model import ConstraintSystem
+from repro.frontend.generator import GeneratedProgram
+
+__all__ = [
+    "CheckContext",
+    "CheckReport",
+    "CheckerInfo",
+    "Diagnostic",
+    "SarifValidationError",
+    "Severity",
+    "checker_names",
+    "from_sarif",
+    "get_checker",
+    "register_checker",
+    "registered_checkers",
+    "run_checkers",
+    "select_checkers",
+    "to_sarif",
+    "validate_sarif",
+]
+
+
+def run_checkers(
+    system: ConstraintSystem,
+    solution: PointsToSolution,
+    program: Optional[GeneratedProgram] = None,
+    path: str = "<input>",
+    checkers: Optional[Sequence[str]] = None,
+    disabled: Optional[Sequence[str]] = None,
+    min_severity: Severity = Severity.NOTE,
+) -> CheckReport:
+    """Run (a selection of) the registered checkers over one solution.
+
+    ``checkers=None`` runs everything registered; ``disabled`` drops
+    names from that selection; findings below ``min_severity`` are
+    filtered out.  The report is deduplicated and source-ordered.
+    """
+    ctx = CheckContext(system, solution, program=program, path=path)
+    report = CheckReport()
+    for info in select_checkers(checkers, disabled):
+        report.extend(info.run(ctx))
+    report.finalize()
+    return report.filtered(min_severity)

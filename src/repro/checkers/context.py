@@ -1,0 +1,251 @@
+"""Shared query surface the checkers run against.
+
+A :class:`CheckContext` bundles the constraint system, the solved
+points-to relation and (when the input came through the C front-end) the
+:class:`~repro.frontend.generator.GeneratedProgram` naming metadata.  It
+pre-indexes what every checker needs — deref sites with their provenance,
+location classification by naming convention, address-taken lines — so
+individual checkers stay small and none re-walks the constraint list.
+
+The ``program`` field is optional on purpose: ``repro check`` also
+accepts ``.cons`` files (including minimized repros out of ``repro
+reduce``), where classification falls back to the front-end naming
+conventions baked into the variable names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.analysis.solution import PointsToSolution
+from repro.constraints.model import (
+    Constraint,
+    ConstraintKind,
+    ConstraintSystem,
+    Provenance,
+)
+from repro.frontend.generator import GeneratedProgram
+
+
+def owner_of(name: str) -> Optional[str]:
+    """Owning function of a qualified name (None for globals/heap).
+
+    Mirrors the front-end naming conventions: locals are ``"fn::var"``,
+    generator temporaries ``"fn$tag<N>@<line>"``.
+    """
+    if "::" in name:
+        return name.split("::", 1)[0]
+    if "$" in name:
+        return name.split("$", 1)[0]
+    return None
+
+
+def site_line_of(name: str) -> int:
+    """Source line encoded in a ``heap@<line>#<k>``/``str@<line>#<k>`` name."""
+    if "@" not in name:
+        return 0
+    tail = name.rsplit("@", 1)[1]
+    digits = tail.split("#", 1)[0]
+    return int(digits) if digits.isdigit() else 0
+
+
+@dataclass(frozen=True)
+class DerefSite:
+    """One pointer dereference: a complex constraint plus its origin."""
+
+    constraint: Constraint
+    #: The dereferenced pointer variable (LOAD src / STORE dst).
+    pointer: int
+    offset: int
+
+    @property
+    def prov(self) -> Optional[Provenance]:
+        return self.constraint.prov
+
+    @property
+    def line(self) -> int:
+        return self.constraint.prov.line if self.constraint.prov else 0
+
+
+class CheckContext:
+    """Everything a checker may query, pre-indexed once per run."""
+
+    def __init__(
+        self,
+        system: ConstraintSystem,
+        solution: PointsToSolution,
+        program: Optional[GeneratedProgram] = None,
+        path: str = "<input>",
+    ) -> None:
+        self.system = system
+        self.solution = solution
+        self.program = program
+        self.path = path
+        self.functions = system.functions
+
+        if program is not None:
+            self.null_node: Optional[int] = program.null_node
+            self.heap_nodes: List[int] = list(program.heap_nodes)
+        else:
+            # .cons inputs: recover the special locations from the
+            # front-end naming conventions, if present.
+            self.null_node = None
+            self.heap_nodes = []
+            for node, name in enumerate(system.names):
+                if name == "<null>":
+                    self.null_node = node
+                elif name.startswith("heap@"):
+                    self.heap_nodes.append(node)
+
+        self._owner_cache: Dict[int, Optional[str]] = {}
+        self._base_lines: Optional[Dict[int, Provenance]] = None
+        self._pts_cache: Dict[int, object] = {}
+        self._local_nodes: Optional[frozenset] = None
+        # Function-block satellites (the function variable, its return
+        # slot, its parameters): never part of the global namespace.
+        self._function_block_nodes = set()
+        for info in self.functions.values():
+            self._function_block_nodes.update(
+                range(info.node, info.node + info.block_size)
+            )
+
+    # ------------------------------------------------------------------
+    # Location classification (front-end naming conventions)
+    # ------------------------------------------------------------------
+
+    def name_of(self, node: int) -> str:
+        return self.system.name_of(node)
+
+    def owner(self, node: int) -> Optional[str]:
+        if node not in self._owner_cache:
+            self._owner_cache[node] = owner_of(self.system.name_of(node))
+        return self._owner_cache[node]
+
+    def is_function(self, node: int) -> bool:
+        return node in self.functions
+
+    def is_heap(self, node: int) -> bool:
+        return self.system.name_of(node).startswith("heap@")
+
+    def is_synthetic_object(self, node: int) -> bool:
+        """Strings, externs, field variables, the null object."""
+        name = self.system.name_of(node)
+        return name.startswith(("str@", "<extern:", "<field:", "<null>"))
+
+    def is_local(self, node: int) -> bool:
+        """A function-owned stack location (local, param or temporary)."""
+        return self.owner(node) is not None and not self.is_function(node)
+
+    def is_global_var(self, node: int) -> bool:
+        """A named file-scope variable — lives for the whole execution."""
+        if node in self._function_block_nodes:
+            return False
+        if self.owner(node) is not None:
+            return False
+        if self.is_heap(node) or self.is_synthetic_object(node):
+            return False
+        return True
+
+    def local_nodes(self) -> frozenset:
+        """All function-owned stack locations, computed once.
+
+        The dangling checker intersects every persistent holder's
+        points-to set against this; membership beats re-deriving
+        ownership per pointee on large solutions.
+        """
+        if self._local_nodes is None:
+            self._local_nodes = frozenset(
+                node
+                for node in range(self.system.num_vars)
+                if self.is_local(node)
+            )
+        return self._local_nodes
+
+    # ------------------------------------------------------------------
+    # Constraint-derived indexes
+    # ------------------------------------------------------------------
+
+    def deref_sites(self) -> Iterator[DerefSite]:
+        """All pointer dereferences, call-site desugarings included."""
+        for constraint in self.system.constraints:
+            if constraint.kind is ConstraintKind.LOAD:
+                yield DerefSite(constraint, constraint.src, constraint.offset)
+            elif constraint.kind is ConstraintKind.STORE:
+                yield DerefSite(constraint, constraint.dst, constraint.offset)
+
+    def is_call_site(self, site: DerefSite) -> bool:
+        """Whether an offset dereference is a desugared indirect call.
+
+        Provenance makes this exact (``IndirectCall`` constructs); for
+        provenance-free inputs, fall back to "some pointee is a
+        function" — the heuristic the call-graph client also implies.
+        """
+        if site.offset == 0:
+            return False
+        if site.prov is not None:
+            return site.prov.construct == "IndirectCall"
+        return any(loc in self.functions for loc in self.pts(site.pointer))
+
+    def address_taken_prov(self, loc: int) -> Optional[Provenance]:
+        """Provenance of the first ``x = &loc`` constraint (where the
+        location's address entered the points-to world)."""
+        if self._base_lines is None:
+            index: Dict[int, Provenance] = {}
+            for constraint in self.system.constraints:
+                if (
+                    constraint.kind is ConstraintKind.BASE
+                    and constraint.prov is not None
+                    and constraint.src not in index
+                ):
+                    index[constraint.src] = constraint.prov
+            self._base_lines = index
+        return self._base_lines.get(loc)
+
+    def location_line(self, loc: int) -> int:
+        """Best source line for an abstract location: its allocation-site
+        name if it encodes one, else where its address was first taken."""
+        encoded = site_line_of(self.system.name_of(loc))
+        if encoded:
+            return encoded
+        prov = self.address_taken_prov(loc)
+        return prov.line if prov is not None else 0
+
+    # ------------------------------------------------------------------
+    # Points-to shorthands
+    # ------------------------------------------------------------------
+
+    def pts(self, var: int):
+        """``points_to`` with per-context memoization: the checkers ask
+        about overlapping pointer populations, and materializing a
+        backing-native set into a frozenset is the expensive part."""
+        cached = self._pts_cache.get(var)
+        if cached is None:
+            cached = self.solution.points_to(var)
+            self._pts_cache[var] = cached
+        return cached
+
+    def pts_names(self, var: int, limit: int = 3) -> str:
+        """Human-readable pointee list for messages, truncated."""
+        names = sorted(self.system.name_of(loc) for loc in self.pts(var))
+        shown = ", ".join(names[:limit])
+        if len(names) > limit:
+            shown += f", ... ({len(names)} total)"
+        return shown
+
+    def describe(self, node: int) -> str:
+        """A message-friendly name: strips generator temporary noise."""
+        name = self.system.name_of(node)
+        if "$" in name:  # "fn$tag<N>@<line>" — cite the expression spot
+            fn, tail = name.split("$", 1)
+            return f"expression in {fn}() (temporary {tail})"
+        return f"'{name}'"
+
+
+def constraints_by_line(system: ConstraintSystem) -> Dict[int, List[Constraint]]:
+    """Index a system's constraints by provenance line (diagnostic aid)."""
+    index: Dict[int, List[Constraint]] = {}
+    for constraint in system.constraints:
+        if constraint.prov is not None and constraint.prov.line > 0:
+            index.setdefault(constraint.prov.line, []).append(constraint)
+    return index

@@ -1,0 +1,102 @@
+"""Checker registry: names to checker functions.
+
+A checker is a function ``(CheckContext) -> Iterable[Diagnostic]``
+registered under a stable rule id::
+
+    @register_checker(
+        "null-deref",
+        severity=Severity.ERROR,
+        description="dereference of a definitely-null pointer",
+    )
+    def check_null_deref(ctx):
+        ...
+
+The registry is what the CLI's ``--checker``/``--disable-checker`` flags
+and the SARIF rule table are generated from; checkers never import each
+other, only the shared :class:`~repro.checkers.context.CheckContext`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.checkers.diagnostics import Diagnostic, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.checkers.context import CheckContext
+
+CheckerFn = Callable[["CheckContext"], Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class CheckerInfo:
+    """One registered checker.
+
+    Checkers that only make sense on front-end programs (qualified
+    names, heap sites) still run on bare ``.cons`` systems — they just
+    find nothing when the naming conventions are absent.
+    """
+
+    name: str
+    severity: Severity
+    description: str
+    func: CheckerFn
+
+    def run(self, ctx: "CheckContext") -> List[Diagnostic]:
+        return list(self.func(ctx))
+
+
+_REGISTRY: Dict[str, CheckerInfo] = {}
+
+
+def register_checker(
+    name: str, severity: Severity, description: str
+) -> Callable[[CheckerFn], CheckerFn]:
+    """Class-less plugin point: decorate a function to add a checker."""
+
+    def decorate(func: CheckerFn) -> CheckerFn:
+        if name in _REGISTRY:
+            raise ValueError(f"checker {name!r} already registered")
+        _REGISTRY[name] = CheckerInfo(
+            name=name, severity=severity, description=description, func=func
+        )
+        return func
+
+    return decorate
+
+
+def registered_checkers() -> List[CheckerInfo]:
+    """All checkers, in registration order (stable for SARIF rules)."""
+    return list(_REGISTRY.values())
+
+
+def checker_names() -> List[str]:
+    return list(_REGISTRY)
+
+
+def get_checker(name: str) -> CheckerInfo:
+    info = _REGISTRY.get(name)
+    if info is None:
+        options = ", ".join(_REGISTRY) or "<none>"
+        raise ValueError(f"unknown checker {name!r} (registered: {options})")
+    return info
+
+
+def select_checkers(
+    enabled: Optional[Sequence[str]] = None,
+    disabled: Optional[Sequence[str]] = None,
+) -> List[CheckerInfo]:
+    """Resolve the CLI's enable/disable flags to a checker list.
+
+    ``enabled=None`` means "all registered"; names are validated so a
+    typo fails loudly instead of silently checking nothing.
+    """
+    if enabled is None:
+        selected = registered_checkers()
+    else:
+        selected = [get_checker(name) for name in enabled]
+    if disabled:
+        drop = {get_checker(name).name for name in disabled}
+        selected = [info for info in selected if info.name not in drop]
+    return selected

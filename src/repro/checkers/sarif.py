@@ -1,0 +1,183 @@
+"""SARIF 2.1.0 emission, validation and round-trip reading.
+
+SARIF (Static Analysis Results Interchange Format, OASIS) is the
+interchange format code-review tooling ingests.  This module emits the
+subset the checkers need — one ``run`` with a rule table generated from
+the registry and one ``result`` per diagnostic — plus a structural
+validator used by tests and CI in place of a JSON-Schema engine (no
+external dependencies), and a reader that reconstructs a
+:class:`~repro.checkers.diagnostics.CheckReport` exactly, so "all
+diagnostics round-trip through SARIF" is a testable property.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.checkers.diagnostics import CheckReport, Diagnostic, Severity
+from repro.checkers.registry import registered_checkers
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+TOOL_NAME = "repro-check"
+TOOL_URI = "https://dl.acm.org/doi/10.1145/1250734.1250767"
+
+#: The SARIF result levels the checkers use (``none`` exists in the
+#: standard but has no Severity counterpart here).
+_LEVELS = {s.label for s in Severity}
+
+
+def to_sarif(report: CheckReport, tool_version: str = "0.1.0") -> Dict[str, Any]:
+    """Serialize a report as one SARIF run."""
+    rules = [
+        {
+            "id": info.name,
+            "shortDescription": {"text": info.description},
+            "defaultConfiguration": {"level": info.severity.label},
+        }
+        for info in registered_checkers()
+    ]
+    results: List[Dict[str, Any]] = []
+    for diag in report.diagnostics:
+        result: Dict[str, Any] = {
+            "ruleId": diag.rule,
+            "level": diag.severity.label,
+            "message": {"text": diag.message},
+            # The properties bag carries what physicalLocation cannot
+            # (line 0 = unknown; the originating AST construct), making
+            # the SARIF round-trip lossless.
+            "properties": {
+                "construct": diag.construct,
+                "line": diag.line,
+            },
+        }
+        location: Dict[str, Any] = {
+            "physicalLocation": {
+                "artifactLocation": {"uri": diag.file},
+            }
+        }
+        if diag.line >= 1:  # SARIF regions are 1-based; 0 is not valid
+            location["physicalLocation"]["region"] = {"startLine": diag.line}
+        result["locations"] = [location]
+        results.append(result)
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": tool_version,
+                        "informationUri": TOOL_URI,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+class SarifValidationError(ValueError):
+    """Raised when a document violates the SARIF 2.1.0 structure."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SarifValidationError(message)
+
+
+def validate_sarif(doc: Any) -> None:
+    """Structural SARIF 2.1.0 validation (the subset this tool emits).
+
+    Mirrors the constraints of the official JSON schema for the fields
+    in play: exact version, runs/tool/driver shape, result levels drawn
+    from the standard's enumeration, messages with text, and 1-based
+    integer region lines.  Raises :class:`SarifValidationError`.
+    """
+    _require(isinstance(doc, dict), "document must be an object")
+    _require(doc.get("version") == SARIF_VERSION, "version must be '2.1.0'")
+    runs = doc.get("runs")
+    _require(isinstance(runs, list) and runs, "runs must be a non-empty array")
+    for run in runs:
+        _require(isinstance(run, dict), "run must be an object")
+        driver = run.get("tool", {}).get("driver")
+        _require(isinstance(driver, dict), "run.tool.driver must be an object")
+        _require(
+            isinstance(driver.get("name"), str) and driver["name"],
+            "tool.driver.name must be a non-empty string",
+        )
+        for rule in driver.get("rules", []):
+            _require(
+                isinstance(rule, dict) and isinstance(rule.get("id"), str),
+                "every rule needs a string id",
+            )
+        results = run.get("results", [])
+        _require(isinstance(results, list), "run.results must be an array")
+        for result in results:
+            _require(isinstance(result, dict), "result must be an object")
+            _require(
+                isinstance(result.get("ruleId"), str) and result["ruleId"],
+                "result.ruleId must be a non-empty string",
+            )
+            level = result.get("level", "warning")
+            _require(
+                level in _LEVELS | {"none"},
+                f"result.level {level!r} not a SARIF level",
+            )
+            message = result.get("message")
+            _require(
+                isinstance(message, dict) and isinstance(message.get("text"), str),
+                "result.message.text must be a string",
+            )
+            for location in result.get("locations", []):
+                physical = location.get("physicalLocation", {})
+                artifact = physical.get("artifactLocation", {})
+                _require(
+                    isinstance(artifact.get("uri"), str),
+                    "artifactLocation.uri must be a string",
+                )
+                region = physical.get("region")
+                if region is not None:
+                    start = region.get("startLine")
+                    _require(
+                        isinstance(start, int) and not isinstance(start, bool)
+                        and start >= 1,
+                        "region.startLine must be an integer >= 1",
+                    )
+
+
+def from_sarif(doc: Dict[str, Any]) -> CheckReport:
+    """Reconstruct a report from a SARIF document (inverse of
+    :func:`to_sarif`); validates first."""
+    validate_sarif(doc)
+    report = CheckReport()
+    for run in doc["runs"]:
+        for result in run.get("results", []):
+            properties = result.get("properties", {})
+            line = properties.get("line")
+            if not isinstance(line, int):
+                region = (
+                    result.get("locations", [{}])[0]
+                    .get("physicalLocation", {})
+                    .get("region", {})
+                )
+                line = region.get("startLine", 0)
+            uri = (
+                result.get("locations", [{}])[0]
+                .get("physicalLocation", {})
+                .get("artifactLocation", {})
+                .get("uri", "<input>")
+            )
+            report.diagnostics.append(
+                Diagnostic(
+                    rule=result["ruleId"],
+                    severity=Severity.parse(result.get("level", "warning")),
+                    message=result["message"]["text"],
+                    line=line,
+                    construct=properties.get("construct", ""),
+                    file=uri,
+                )
+            )
+    return report

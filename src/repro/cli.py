@@ -7,6 +7,7 @@ solutions and statistics out.
 
     python -m repro solve FILE [--algorithm lcd+hcd] [--pts bitmap] [--ovs] [--workers N]
     python -m repro analyze FILE.c [--query main::p ...] [--callgraph]
+    python -m repro check FILE.c [--checker null-deref ...] [--format text|sarif|json]
     python -m repro generate BENCHMARK [--scale 128] [--seed 1] [-o FILE]
     python -m repro compare FILE [--algorithms ht,pkh,lcd+hcd]
     python -m repro verify FILE [--algorithms all] [--pts all] [--sanitize]
@@ -115,6 +116,69 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             )
             print(f"  {system.name_of(site)} -> {callees}")
     return 0
+
+
+def _load_checkable(path: str, field_mode: str):
+    """Load ``path`` as a front-end program (``.c``) or constraint file.
+
+    Returns ``(system, program_or_None)`` — checkers degrade gracefully
+    on bare constraint systems (minimized repros, generated workloads).
+    """
+    if path.endswith(".cons"):
+        return _read_system(path), None
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    program = generate_constraints(source, field_mode=field_mode)
+    return program.system, program
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.checkers import Severity, run_checkers, to_sarif
+
+    system, program = _load_checkable(args.file, args.field_mode)
+    solver = make_solver(system, args.solver, pts=args.pts)
+    solution = solver.solve()
+    report = run_checkers(
+        system,
+        solution,
+        program=program,
+        path=args.file,
+        checkers=args.checker or None,
+        disabled=args.disable_checker or None,
+        min_severity=Severity.parse(args.min_severity),
+    )
+
+    if args.format == "sarif":
+        rendered = json.dumps(to_sarif(report), indent=2) + "\n"
+    elif args.format == "json":
+        rendered = json.dumps(
+            [
+                {
+                    "rule": d.rule,
+                    "severity": d.severity.label,
+                    "message": d.message,
+                    "file": d.file,
+                    "line": d.line,
+                    "construct": d.construct,
+                }
+                for d in report
+            ],
+            indent=2,
+        ) + "\n"
+    else:
+        rendered = report.to_text()
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(
+            f"wrote {len(report)} finding(s) to {args.output}", file=sys.stderr
+        )
+    else:
+        sys.stdout.write(rendered)
+    return 1 if len(report) else 0
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -338,6 +402,54 @@ def build_parser() -> argparse.ArgumentParser:
         "footnote-2 field-based variant, or full field-sensitivity",
     )
     p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_check = sub.add_parser(
+        "check",
+        help="run the points-to-powered bug checkers on a C or .cons file",
+    )
+    p_check.add_argument("file", help="a .c source file or a .cons constraint file")
+    p_check.add_argument(
+        "--solver",
+        default="lcd+hcd",
+        help=f"points-to algorithm to check against; one of: "
+        f"{', '.join(available_solvers())}",
+    )
+    p_check.add_argument(
+        "--pts",
+        default="bitmap",
+        choices=list(FAMILY_KINDS),
+        help="points-to representation (alias queries use its native AND)",
+    )
+    p_check.add_argument(
+        "--checker",
+        action="append",
+        help="run only this checker (repeatable); default: all registered",
+    )
+    p_check.add_argument(
+        "--disable-checker",
+        action="append",
+        help="drop this checker from the selection (repeatable)",
+    )
+    p_check.add_argument(
+        "--min-severity",
+        default="warning",
+        choices=["note", "warning", "error"],
+        help="report only findings at or above this severity",
+    )
+    p_check.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "sarif", "json"],
+        help="compiler-style text, SARIF 2.1.0, or plain JSON",
+    )
+    p_check.add_argument(
+        "--field-mode",
+        default="insensitive",
+        choices=["insensitive", "based", "sensitive"],
+        help="front-end field treatment for .c inputs",
+    )
+    p_check.add_argument("-o", "--output", help="write the report here")
+    p_check.set_defaults(func=_cmd_check)
 
     p_generate = sub.add_parser("generate", help="emit a synthetic benchmark workload")
     p_generate.add_argument("benchmark", choices=BENCHMARK_ORDER)

@@ -28,6 +28,7 @@ from repro.constraints.model import (
     ConstraintSystem,
     FunctionInfo,
     ObjectBlock,
+    Provenance,
 )
 
 
@@ -66,6 +67,26 @@ class ConstraintBuilder:
         self._constraints: List[Constraint] = []
         self._functions: Dict[int, FunctionInfo] = {}
         self._blocks: Dict[int, ObjectBlock] = {}
+        #: Provenance attached to subsequently emitted constraints (the
+        #: front-end updates this per statement/expression).
+        self._prov: Optional[Provenance] = None
+
+    # ------------------------------------------------------------------
+    # Provenance
+    # ------------------------------------------------------------------
+
+    def set_provenance(self, prov: Optional[Provenance]) -> Optional[Provenance]:
+        """Set the provenance for subsequently emitted constraints.
+
+        Returns the previous value so callers can scope an override.
+        """
+        previous = self._prov
+        self._prov = prov
+        return previous
+
+    @property
+    def current_provenance(self) -> Optional[Provenance]:
+        return self._prov
 
     # ------------------------------------------------------------------
     # Variables and functions
@@ -140,19 +161,27 @@ class ConstraintBuilder:
 
     def address_of(self, dst: int, src: int) -> None:
         """``dst = &src``"""
-        self._constraints.append(Constraint(ConstraintKind.BASE, dst, src))
+        self._constraints.append(
+            Constraint(ConstraintKind.BASE, dst, src, prov=self._prov)
+        )
 
     def assign(self, dst: int, src: int) -> None:
         """``dst = src``"""
-        self._constraints.append(Constraint(ConstraintKind.COPY, dst, src))
+        self._constraints.append(
+            Constraint(ConstraintKind.COPY, dst, src, prov=self._prov)
+        )
 
     def load(self, dst: int, src: int, offset: int = 0) -> None:
         """``dst = *(src + offset)``"""
-        self._constraints.append(Constraint(ConstraintKind.LOAD, dst, src, offset))
+        self._constraints.append(
+            Constraint(ConstraintKind.LOAD, dst, src, offset, prov=self._prov)
+        )
 
     def store(self, dst: int, src: int, offset: int = 0) -> None:
         """``*(dst + offset) = src``"""
-        self._constraints.append(Constraint(ConstraintKind.STORE, dst, src, offset))
+        self._constraints.append(
+            Constraint(ConstraintKind.STORE, dst, src, offset, prov=self._prov)
+        )
 
     def offset_assign(self, dst: int, src: int, offset: int) -> None:
         """``dst = src + offset`` — the field-address (GEP) form.
@@ -163,7 +192,9 @@ class ConstraintBuilder:
         if offset == 0:
             self.assign(dst, src)
         else:
-            self._constraints.append(Constraint(ConstraintKind.OFFS, dst, src, offset))
+            self._constraints.append(
+                Constraint(ConstraintKind.OFFS, dst, src, offset, prov=self._prov)
+            )
 
     def call_direct(
         self,

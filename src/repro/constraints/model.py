@@ -41,6 +41,29 @@ RETURN_OFFSET = 1
 PARAM_OFFSET = 2
 
 
+@dataclass(frozen=True)
+class Provenance:
+    """Where a constraint came from, for diagnostics.
+
+    ``line`` is the 1-based source line of the originating construct (0
+    when unknown), ``construct`` names the AST form that produced the
+    constraint (``"Declaration"``, ``"Call"``, ``"Deref"``, ...), and
+    ``synthesized`` marks constraints the front-end invented rather than
+    lowered from a source statement (function self-bases, stub
+    summaries).  Provenance is carried by :class:`Constraint` but never
+    participates in constraint equality — two systems that differ only
+    in provenance solve identically, and the solvers ignore it.
+    """
+
+    line: int = 0
+    construct: str = ""
+    synthesized: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        tag = f"{self.construct or '?'}@{self.line}"
+        return f"{tag}!" if self.synthesized else tag
+
+
 class ConstraintKind(enum.Enum):
     """The constraint taxonomy of paper Table 1 (plus OFFS).
 
@@ -73,6 +96,10 @@ class Constraint:
     dst: int
     src: int
     offset: int = 0
+    #: Optional source provenance.  Excluded from equality and hashing:
+    #: solvers, the certifier and solution comparisons see only the
+    #: semantic quadruple, while diagnostics read the provenance.
+    prov: Optional[Provenance] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.dst < 0 or self.src < 0:
@@ -83,6 +110,10 @@ class Constraint:
             raise ValueError(f"{self.kind} constraints cannot carry an offset")
         if self.kind is ConstraintKind.OFFS and self.offset == 0:
             raise ValueError("offset-copy with offset 0 should be a COPY")
+
+    def with_prov(self, prov: Optional[Provenance]) -> "Constraint":
+        """A copy of this constraint carrying different provenance."""
+        return Constraint(self.kind, self.dst, self.src, self.offset, prov)
 
     def __str__(self) -> str:
         if self.kind is ConstraintKind.BASE:

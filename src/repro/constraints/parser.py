@@ -16,6 +16,13 @@ Format (one directive per line, ``#`` starts a comment)::
 Variables may be referenced by name (declared earlier) or by ``%<id>``.
 Declaration order fixes the id assignment, so a round-trip through
 ``dumps_constraints`` / ``loads_constraints`` is exact.
+
+Any constraint directive (and ``fun``, whose implicit self-base
+constraint is re-created on parse) may carry a trailing *provenance
+annotation* ``! <line> <construct> <0|1>`` recording the source line,
+originating AST construct, and synthesized flag of the constraint —
+see :class:`~repro.constraints.model.Provenance`.  Files without
+annotations parse exactly as before (``prov`` stays ``None``).
 """
 
 from __future__ import annotations
@@ -29,9 +36,50 @@ from repro.constraints.model import (
     ConstraintSystem,
     FunctionInfo,
     ObjectBlock,
+    Provenance,
 )
 
 _KIND_BY_NAME = {kind.value: kind for kind in ConstraintKind}
+
+
+def _split_prov(tokens: List[str], line_no: int):
+    """Split a directive's tokens from its trailing ``!`` provenance
+    annotation.  Returns ``(tokens, Provenance or None)``."""
+    if "!" not in tokens:
+        return tokens, None
+    bang = tokens.index("!")
+    annotation = tokens[bang + 1 :]
+    if len(annotation) != 3:
+        raise ConstraintParseError(
+            line_no, "provenance annotation takes '! <line> <construct> <0|1>'"
+        )
+    try:
+        src_line = int(annotation[0])
+    except ValueError:
+        raise ConstraintParseError(
+            line_no, "provenance line must be an integer"
+        ) from None
+    if annotation[2] not in ("0", "1"):
+        raise ConstraintParseError(
+            line_no, "provenance synthesized flag must be 0 or 1"
+        )
+    prov = Provenance(
+        line=src_line,
+        # "?" is the serialized form of an empty construct name.
+        construct="" if annotation[1] == "?" else annotation[1],
+        synthesized=annotation[2] == "1",
+    )
+    return tokens[:bang], prov
+
+
+def _prov_tokens(prov: Provenance) -> List[str]:
+    """The serialized annotation for ``prov`` (inverse of ``_split_prov``)."""
+    return [
+        "!",
+        str(prov.line),
+        prov.construct or "?",
+        "1" if prov.synthesized else "0",
+    ]
 
 
 class ConstraintParseError(ValueError):
@@ -77,6 +125,9 @@ def read_constraints(stream: TextIO) -> ConstraintSystem:
         if not line:
             continue
         tokens = line.split()
+        tokens, prov = _split_prov(tokens, line_no)
+        if not tokens:
+            raise ConstraintParseError(line_no, "annotation without a directive")
         directive = tokens[0]
         if directive == "var":
             if len(tokens) != 2:
@@ -97,7 +148,7 @@ def read_constraints(stream: TextIO) -> ConstraintSystem:
             for i in range(param_count):
                 declare(f"{fn_name}::p{i}", line_no)
             functions[node] = FunctionInfo(node=node, name=fn_name, param_count=param_count)
-            constraints.append(Constraint(ConstraintKind.BASE, node, node))
+            constraints.append(Constraint(ConstraintKind.BASE, node, node, prov=prov))
         elif directive == "obj":
             if len(tokens) != 3:
                 raise ConstraintParseError(line_no, "obj takes a name and a field count")
@@ -130,7 +181,7 @@ def read_constraints(stream: TextIO) -> ConstraintSystem:
                 except ValueError:
                     raise ConstraintParseError(line_no, "offset must be an integer") from None
             try:
-                constraints.append(Constraint(kind, dst, src, offset))
+                constraints.append(Constraint(kind, dst, src, offset, prov=prov))
             except ValueError as exc:
                 raise ConstraintParseError(line_no, str(exc)) from None
         else:
@@ -151,13 +202,33 @@ def write_constraints(system: ConstraintSystem, stream: TextIO) -> None:
         (info.node, info.node) for info in functions.values()
     }
 
+    # The first self-pointing BASE constraint of each function is elided in
+    # favour of the `fun` directive; its provenance (if any) is carried as an
+    # annotation on that directive so the round-trip stays exact.
+    self_base_prov: Dict[int, Provenance] = {}
+    seen_self_base = set()
+    for constraint in system.constraints:
+        key = (constraint.dst, constraint.src)
+        if (
+            constraint.kind is ConstraintKind.BASE
+            and key in implicit_self_base
+            and key not in seen_self_base
+        ):
+            seen_self_base.add(key)
+            if constraint.prov is not None:
+                self_base_prov[constraint.dst] = constraint.prov
+
     blocks = system.object_blocks
     node = 0
     while node < system.num_vars:
         info = functions.get(node)
         block = blocks.get(node)
         if info is not None:
-            stream.write(f"fun {info.name} {info.param_count}\n")
+            parts = ["fun", info.name, str(info.param_count)]
+            prov = self_base_prov.get(node)
+            if prov is not None:
+                parts.extend(_prov_tokens(prov))
+            stream.write(" ".join(parts) + "\n")
             node += info.block_size
         elif block is not None:
             stream.write(f"obj {block.name} {block.size}\n")
@@ -179,6 +250,8 @@ def write_constraints(system: ConstraintSystem, stream: TextIO) -> None:
         parts = [constraint.kind.value, f"%{constraint.dst}", f"%{constraint.src}"]
         if constraint.offset:
             parts.append(str(constraint.offset))
+        if constraint.prov is not None:
+            parts.extend(_prov_tokens(constraint.prov))
         stream.write(" ".join(parts) + "\n")
 
 

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.constraints.builder import ConstraintBuilder, FunctionHandle
-from repro.constraints.model import ConstraintSystem
+from repro.constraints.model import ConstraintSystem, Provenance
 from repro.frontend import cast as ast
 from repro.frontend.stubs import DEFAULT_STUBS, Stub
 
@@ -45,6 +45,10 @@ class GeneratedProgram:
     variables: Dict[str, int]
     heap_nodes: List[int]
     string_nodes: List[int]
+    #: The interned ``<null>`` object (None when the program never
+    #: mentions NULL).  Pointers whose points-to set collapses to this
+    #: single location are definite null dereferences.
+    null_node: Optional[int] = None
 
     def node_of(self, name: str) -> int:
         """Node id of a variable by (possibly qualified) source name.
@@ -112,6 +116,18 @@ class ConstraintGenerator:
         #: Nodes declared with array type: as rvalues they decay to their
         #: own address (the array *is* the object).
         self._array_vars: set = set()
+        #: The interned ``<null>`` object, created on first NULL use.
+        self._null_node: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Provenance
+    # ------------------------------------------------------------------
+
+    def _prov(self, line: int, construct: str, synthesized: bool = False) -> None:
+        """Stamp subsequently emitted constraints with their origin."""
+        self.builder.set_provenance(
+            Provenance(line=line, construct=construct, synthesized=synthesized)
+        )
 
     # ------------------------------------------------------------------
     # Entry point
@@ -121,9 +137,14 @@ class ConstraintGenerator:
         if self.field_mode == "sensitive":
             self._build_layouts(unit)
 
+        # Default stamp so no frontend constraint is ever provenance-free;
+        # refined per declaration/statement/expression below.
+        self._prov(0, "TranslationUnit", synthesized=True)
+
         # Functions first so call sites resolve regardless of order.
         for fn in unit.functions:
             if fn.name not in self._functions:
+                self._prov(fn.line, "FunctionDef", synthesized=True)
                 handle = self.builder.function(
                     fn.name, [p.name or f"arg{i}" for i, p in enumerate(fn.params)]
                 )
@@ -137,6 +158,7 @@ class ConstraintGenerator:
             self._declare_global(decl)
 
         for decl in unit.globals:
+            self._prov(decl.line, "Declaration")
             self._initialize(("var", self._globals[decl.name]), decl)
 
         for fn in unit.functions:
@@ -149,6 +171,7 @@ class ConstraintGenerator:
             variables=dict(self._variables),
             heap_nodes=list(self._heap_nodes),
             string_nodes=list(self._string_nodes),
+            null_node=self._null_node,
         )
 
     # ------------------------------------------------------------------
@@ -236,6 +259,8 @@ class ConstraintGenerator:
     def _statement(self, stmt: Optional[ast.Stmt]) -> None:
         if stmt is None:
             return
+        if not isinstance(stmt, (ast.Block, ast.DeclGroup)):
+            self._prov(stmt.line, type(stmt).__name__)
         if isinstance(stmt, ast.Block):
             self._scopes.append({})
             for inner in stmt.body:
@@ -358,6 +383,7 @@ class ConstraintGenerator:
             pointer = self.rvalue(expr.operand)
             if pointer is None:
                 return None
+            self._prov(expr.line, "Deref")
             return self._read(("deref", pointer, 0), expr.line)
         if expr.op == "&":
             target = self.lvalue(expr.operand)
@@ -404,11 +430,13 @@ class ConstraintGenerator:
             local = self._lookup_scoped(name)
             if local is None and handle is not None:
                 # Direct call to a known function.
+                self._prov(expr.line, "Call")
                 self._copy_args(handle, args)
                 result = self.fresh_tmp(expr.line, f"ret_{name}")
                 self.builder.assign(result, handle.return_node)
                 return result
             if local is None and handle is None:
+                self._prov(expr.line, "Call")
                 stub = self.stubs.get(name)
                 if stub is not None:
                     return stub(self, args, expr.line)
@@ -418,6 +446,7 @@ class ConstraintGenerator:
         pointer = self.rvalue(expr.callee)
         if pointer is None:
             return None
+        self._prov(expr.line, "IndirectCall")
         concrete = [a if a is not None else self._null_arg(expr.line) for a in args]
         result = self.fresh_tmp(expr.line, "iret")
         self.builder.call_indirect(pointer, concrete, ret=result)
@@ -447,6 +476,7 @@ class ConstraintGenerator:
             pointer = self.rvalue(expr.operand)
             if pointer is None:
                 return None
+            self._prov(expr.line, "Deref")
             return ("deref", pointer, 0)
         if isinstance(expr, ast.Index):
             # a[i] == *(a + i); the decayed array value is the pointer.
@@ -454,6 +484,7 @@ class ConstraintGenerator:
             self.rvalue(expr.index)
             if pointer is None:
                 return None
+            self._prov(expr.line, "Index")
             return ("deref", pointer, 0)
         if isinstance(expr, ast.Member):
             if self.field_mode == "based":
@@ -471,6 +502,7 @@ class ConstraintGenerator:
                 pointer = self.rvalue(expr.base)
                 if pointer is None:
                     return None
+                self._prov(expr.line, "Member")
                 return ("deref", pointer, 0)
             return self.lvalue(expr.base)  # s.f collapses onto s
         if isinstance(expr, ast.Cast):
@@ -540,8 +572,24 @@ class ConstraintGenerator:
         else:
             obj = self.builder.var(name)
         self._heap_nodes.append(obj)
+        self._prov(line, "Alloc")
         pointer = self.fresh_tmp(line, "heapptr")
         self.builder.address_of(pointer, obj)
+        return pointer
+
+    def _null_value(self, line: int) -> int:
+        """A pointer to the interned ``<null>`` object.
+
+        Modelling NULL as a distinguished location (instead of a
+        pointer-free value) lets the null-deref checker distinguish "this
+        pointer is definitely null here" from "no pointer ever flows
+        here"; solvers see it as just another abstract location.
+        """
+        if self._null_node is None:
+            self._null_node = self.builder.var("<null>")
+        self._prov(line, "Null")
+        pointer = self.fresh_tmp(line, "null")
+        self.builder.address_of(pointer, self._null_node)
         return pointer
 
     def unknown_object(self, name: str, line: int) -> int:
@@ -550,6 +598,7 @@ class ConstraintGenerator:
         if obj is None:
             obj = self.builder.var(f"<extern:{name}>")
             self._unknown_objects[name] = obj
+        self._prov(line, "Extern", synthesized=True)
         pointer = self.fresh_tmp(line, f"ext_{name}")
         self.builder.address_of(pointer, obj)
         return pointer
@@ -752,6 +801,7 @@ class ConstraintGenerator:
         self._tmp_counter += 1
         obj = self.builder.var(f"str@{line}#{self._tmp_counter}")
         self._string_nodes.append(obj)
+        self._prov(line, "StringLiteral")
         pointer = self.fresh_tmp(line, "strptr")
         self.builder.address_of(pointer, obj)
         return pointer
@@ -774,8 +824,10 @@ class ConstraintGenerator:
         handle = self._functions.get(name)
         if handle is not None:
             return handle.node  # function designator: points to itself
-        if name in ("NULL", "stdin", "stdout", "stderr"):
-            return None if name == "NULL" else self.unknown_object(name, line)
+        if name == "NULL":
+            return self._null_value(line)
+        if name in ("stdin", "stdout", "stderr"):
+            return self.unknown_object(name, line)
         # Undeclared identifier (missing header): treat as an unknown
         # global so the analysis stays total.
         node = self.builder.var(self._unique_name(name))

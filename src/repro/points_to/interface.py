@@ -25,6 +25,14 @@ class PointsToSet(Protocol):
     def contains(self, loc: int) -> bool:
         """Membership test."""
 
+    def intersects(self, other: "PointsToSet") -> bool:
+        """True when the two sets share any location (same family).
+
+        The representation-native AND — word-parallel on bitmap blocks,
+        one ``apply_and`` on BDDs — without materializing the
+        intersection.  This is the alias-query primitive.
+        """
+
     def same_as(self, other: "PointsToSet") -> bool:
         """Set equality with another set of the same family."""
 

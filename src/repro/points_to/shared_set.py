@@ -66,6 +66,12 @@ class SharedPointsToSet:
     def contains(self, loc: int) -> bool:
         return loc in self.node.bits
 
+    def intersects(self, other: "SharedPointsToSet") -> bool:
+        if self.node is other.node:
+            # Identical interned nodes intersect iff non-empty.
+            return len(self.node.bits) > 0
+        return self.node.bits.intersects(other.node.bits)
+
     def same_as(self, other: "SharedPointsToSet") -> bool:
         # Canonicity makes set equality an identity check (O(1) LCD trigger).
         return self.node is other.node

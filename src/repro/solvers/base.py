@@ -420,12 +420,15 @@ class GraphSolver(BaseSolver):
 
     def _export_solution(self) -> PointsToSolution:
         graph = self.graph
-        mapping = {
-            var: list(graph.pts_of(var)) for var in range(self.system.num_vars)
-        }
+        num_vars = self.system.num_vars
+        mapping = {var: list(graph.pts_of(var)) for var in range(num_vars)}
+        # Hand the solver's native sets to the solution so alias/checker
+        # queries run on the representation's own AND (merged variables
+        # share one set object, which is fine for read-only queries).
+        backing = {var: graph.pts_of(var) for var in range(num_vars)}
         return PointsToSolution(
-            mapping, self.system.num_vars, self.system.names,
-            num_locs=self.system.num_vars,
+            mapping, num_vars, self.system.names,
+            num_locs=num_vars, backing=backing,
         )
 
     def _account_memory(self) -> None:

@@ -16,7 +16,7 @@ claims — are preserved.
 *source programs*, exercising the full front-end path end-to-end.
 """
 
-from repro.workloads.cgen import generate_c_program
+from repro.workloads.cgen import expected_bug_findings, generate_c_program
 from repro.workloads.profiles import BENCHMARK_ORDER, BENCHMARKS, WorkloadProfile, default_scale
 from repro.workloads.synthetic import generate_workload
 
@@ -27,4 +27,5 @@ __all__ = [
     "default_scale",
     "generate_workload",
     "generate_c_program",
+    "expected_bug_findings",
 ]

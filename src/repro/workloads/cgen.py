@@ -11,11 +11,81 @@ property tests and by the ``examples/fuzz_frontend.py`` example.
 from __future__ import annotations
 
 import random
-from typing import List
+import re
+from typing import List, Tuple
+
+#: Marker comment the seeded-bug generator plants on offending lines;
+#: tests recover the expected findings with :func:`expected_bug_findings`.
+BUG_MARKER = re.compile(r"/\* BUG: ([a-z-]+) \*/")
 
 
-def generate_c_program(seed: int = 1, n_functions: int = 4, statements_per_fn: int = 12) -> str:
-    """Return a random C-subset translation unit as source text."""
+def expected_bug_findings(source: str) -> List[Tuple[str, int]]:
+    """The ``(rule, line)`` pairs a checker run over ``source`` must report.
+
+    Reads the ``/* BUG: <rule> */`` markers :func:`generate_c_program`
+    plants when ``seed_bugs`` is set (lines are 1-based, matching
+    diagnostic locations).
+    """
+    found = []
+    for line_no, line in enumerate(source.splitlines(), start=1):
+        match = BUG_MARKER.search(line)
+        if match:
+            found.append((match.group(1), line_no))
+    return found
+
+
+def _bug_function(index: int, kind: str) -> List[str]:
+    """One self-contained buggy function (plus support globals).
+
+    Each bug is *isolated*: its pointers never mix with the random
+    pointer pool, so the finding (and its count) is identical under any
+    sound solver — which keeps precision comparisons monotone.
+    """
+    if kind == "null-deref":
+        return [
+            f"int bug{index}() {{",
+            f"    int *bp{index} = NULL;",
+            f"    return *bp{index}; /* BUG: null-deref */",
+            "}",
+            "",
+        ]
+    if kind == "dangling-stack-escape":
+        return [
+            f"int *bug_escape{index};",
+            f"int bug{index}() {{",
+            f"    int bx{index};",
+            f"    bug_escape{index} = &bx{index}; /* BUG: dangling-stack-escape */",
+            "    return 0;",
+            "}",
+            "",
+        ]
+    if kind == "heap-leak":
+        return [
+            f"int bug{index}() {{",
+            f"    int *bm{index} = (int *) malloc(4); /* BUG: heap-leak */",
+            "    return 0;",
+            "}",
+            "",
+        ]
+    raise ValueError(f"unknown seeded bug kind {kind!r}")
+
+
+_BUG_KINDS = ("null-deref", "dangling-stack-escape", "heap-leak")
+
+
+def generate_c_program(
+    seed: int = 1,
+    n_functions: int = 4,
+    statements_per_fn: int = 12,
+    seed_bugs: int = 0,
+) -> str:
+    """Return a random C-subset translation unit as source text.
+
+    ``seed_bugs`` appends that many deliberately buggy functions (round-
+    robin over null-deref / dangling-stack-escape / heap-leak), each
+    marked with a ``/* BUG: <rule> */`` comment on the offending line —
+    see :func:`expected_bug_findings`.
+    """
     rng = random.Random(f"cgen/{seed}")
     lines: List[str] = [
         "/* auto-generated pointer-analysis workload */",
@@ -88,12 +158,17 @@ def generate_c_program(seed: int = 1, n_functions: int = 4, statements_per_fn: i
         lines.append("}")
         lines.append("")
 
+    for index in range(seed_bugs):
+        lines.extend(_bug_function(index, _BUG_KINDS[index % len(_BUG_KINDS)]))
+
     lines.append("int main(int argc, char **argv) {")
     lines.append("    int *r = fn0(gp0, gp1);")
     for fn in fn_names[1:]:
         lines.append(f"    r = {fn}(r, gp1);")
     lines.append("    gfp = &fn0;")
     lines.append("    r = gfp(r, *gpp);")
+    for index in range(seed_bugs):
+        lines.append(f"    bug{index}();")
     lines.append("    return 0;")
     lines.append("}")
     return "\n".join(lines)

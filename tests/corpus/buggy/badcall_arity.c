@@ -1,0 +1,14 @@
+/* Arity mismatch through a function pointer: the callee declares one
+ * parameter but the call pushes three, so the extra argument slots
+ * fall outside the callee's block. */
+int one(int *a) {
+    return *a;
+}
+
+int g0, g1, g2;
+int (*table)(int *);
+
+int main() {
+    table = &one;
+    return table(&g0, &g1, &g2); /* BUG: bad-indirect-call */
+}

@@ -1,0 +1,14 @@
+/* A data pointer flows into a function pointer: one of the call's
+ * possible targets is a plain int object. */
+int apply(int *x) {
+    return *x;
+}
+
+int g = 1;
+int (*fp)(int *);
+
+int main() {
+    fp = &apply;
+    fp = &g;
+    return fp(&g); /* BUG: bad-indirect-call */
+}

@@ -1,0 +1,9 @@
+/* Calling through a pointer whose only value is NULL. */
+int g;
+void (*handler)();
+
+int main() {
+    handler = NULL;
+    handler(&g); /* BUG: bad-indirect-call */
+    return 0;
+}

@@ -1,0 +1,15 @@
+/* A stack local's address escapes into a global: once remember()
+ * returns, 'cache' dangles. */
+int *cache;
+
+int remember(int *unused) {
+    int slot;
+    cache = &slot; /* BUG: dangling-stack-escape */
+    return 0;
+}
+
+int main() {
+    int v;
+    remember(&v);
+    return *cache;
+}

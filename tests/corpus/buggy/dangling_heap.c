@@ -1,0 +1,13 @@
+/* A stack local's address stored into a heap object: the heap cell
+ * outlives stash()'s frame, so the stored pointer dangles. */
+int stash(int **slot) {
+    int transient;
+    *slot = &transient; /* BUG: dangling-stack-escape */
+    return 0;
+}
+
+int main() {
+    int **box = (int **) malloc(8);
+    stash(box);
+    return **box;
+}

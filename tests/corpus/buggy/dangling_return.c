@@ -1,0 +1,11 @@
+/* Returning the address of a local: the frame is gone by the time
+ * the caller sees the pointer.  Escape-via-return is the ERROR form. */
+int *broken() {
+    int local;
+    return &local; /* BUG: dangling-stack-escape */
+}
+
+int main() {
+    int *p = broken();
+    return *p;
+}

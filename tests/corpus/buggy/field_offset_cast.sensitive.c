@@ -1,0 +1,15 @@
+/* (field-sensitive mode)  A struct viewed through a wider struct
+ * type: the 'z' field's offset lies outside every object the pointer
+ * can actually reach. */
+struct A { int x; int *y; };
+struct B { int x; int *y; int *z; };
+
+int g;
+
+int main() {
+    struct A a;
+    struct B *pb;
+    a.y = &g;
+    pb = (struct B *) &a;
+    return *pb->z; /* BUG: invalid-field-offset */
+}

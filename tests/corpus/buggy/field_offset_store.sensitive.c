@@ -1,0 +1,14 @@
+/* (field-sensitive mode)  Store variant: writing through a field
+ * whose offset no pointee's layout covers. */
+struct pair { int *first; int *second; };
+struct wide { int *first; int *second; int *third; };
+
+int g;
+
+int main() {
+    struct pair p;
+    struct wide *w;
+    w = (struct wide *) &p;
+    w->third = &g; /* BUG: invalid-field-offset */
+    return 0;
+}

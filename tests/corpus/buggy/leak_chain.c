@@ -1,0 +1,15 @@
+/* A whole unreachable structure: the outer cell holds the inner one,
+ * but the outer itself is only referenced by a dead frame, so both
+ * allocations leak.  (If the outer were rooted, the inner would be
+ * reachable through it — reachability is transitive.) */
+int assemble() {
+    int **outer = (int **) malloc(8); /* BUG: heap-leak */
+    int *inner = (int *) malloc(4); /* BUG: heap-leak */
+    *outer = inner;
+    return 0;
+}
+
+int main() {
+    assemble();
+    return 0;
+}

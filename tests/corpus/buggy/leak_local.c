@@ -1,0 +1,11 @@
+/* Allocation held only by a helper's local: when build() returns,
+ * the last reference is gone and nothing can free it. */
+int build() {
+    int *scratch = (int *) malloc(16); /* BUG: heap-leak */
+    return 0;
+}
+
+int main() {
+    build();
+    return 0;
+}

@@ -1,0 +1,9 @@
+/* NULL flowing through a copy chain: the analysis propagates the
+ * null object along assignments, so the deref through the alias is
+ * still provably null. */
+int main() {
+    int *p = NULL;
+    int *q;
+    q = p;
+    return *q; /* BUG: null-deref */
+}

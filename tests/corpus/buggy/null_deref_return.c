@@ -1,0 +1,10 @@
+/* Interprocedural null: the callee's return slot only ever holds
+ * NULL, so the caller's dereference is definitely null. */
+int *lookup() {
+    return NULL;
+}
+
+int main() {
+    int *p = lookup();
+    return *p; /* BUG: null-deref */
+}

@@ -1,0 +1,6 @@
+/* The simplest definite null dereference: the pointer is assigned
+ * NULL and nothing else, so its points-to set is exactly {<null>}. */
+int main() {
+    int *p = NULL;
+    return *p; /* BUG: null-deref */
+}

@@ -1,0 +1,18 @@
+/* Ordinary pointer plumbing: globals, address-of arguments passed
+ * *down* the call stack (fine — inner frames holding outer locals do
+ * not dangle), and derefs of always-initialized pointers. */
+int g0, g1;
+int *gp = &g0;
+
+int retarget(int **pp) {
+    *pp = &g1;
+    return 0;
+}
+
+int main() {
+    int local = 3;
+    int *p = &local;
+    retarget(&gp);
+    *p = *gp;
+    return *p;
+}

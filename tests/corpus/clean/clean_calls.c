@@ -1,0 +1,21 @@
+/* Direct and indirect calls where every target is a function of the
+ * right arity. */
+int add_one(int *x) {
+    return *x;
+}
+
+int add_two(int *x) {
+    return *x;
+}
+
+int g;
+int (*op)(int *);
+
+int main() {
+    int r;
+    op = &add_one;
+    op = &add_two;
+    r = op(&g);
+    r = add_one(&g);
+    return r;
+}

@@ -1,0 +1,16 @@
+/* Rooted allocations: one reachable from main's frame (alive until
+ * exit), one from a global. */
+int *fresh() {
+    int *p = (int *) malloc(4);
+    return p;
+}
+
+int g;
+int *keep;
+
+int main() {
+    int *a = fresh();
+    keep = (int *) malloc(4);
+    *a = g;
+    return *keep;
+}

@@ -1,0 +1,14 @@
+/* (field-sensitive mode)  Linked structs where every field access
+ * stays inside the pointee's layout. */
+struct node { int value; struct node *next; int *data; };
+
+int g;
+struct node a, b;
+
+int main() {
+    a.next = &b;
+    b.next = &a;
+    a.data = &g;
+    b.data = &g;
+    return *a.next->data;
+}

@@ -1,0 +1,23 @@
+/* The paper's Section 2 argument in one file: 'm' copies from both a
+ * function pointer and a data pointer.  Unification-based analysis
+ * (Steensgaard) merges the two pointee classes, so pts(fp) picks up
+ * the data object 'x' and the call below looks like it may target a
+ * non-function — a false positive.  Inclusion-based analysis keeps
+ * the flows directional: pts(fp) stays {callee} and this file is
+ * clean. */
+int callee(int *a) {
+    return *a;
+}
+
+int x;
+int (*fp)(int *);
+int *dp;
+int *m;
+
+int main() {
+    fp = &callee;
+    dp = &x;
+    m = fp;
+    m = dp;
+    return fp(dp);
+}

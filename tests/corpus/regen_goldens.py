@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Regenerate the ``.golden.json`` files next to the buggy corpus.
+
+Run after intentionally changing checker messages or corpus programs:
+
+    PYTHONPATH=src python tests/corpus/regen_goldens.py
+
+Each golden records the full diagnostics (rule, severity, line,
+construct, message) that ``repro check --solver lcd+hcd`` produces at
+the default ``warning`` threshold; ``tests/test_checker_corpus.py``
+compares against them field-by-field.
+"""
+
+import json
+import pathlib
+import sys
+
+CORPUS = pathlib.Path(__file__).resolve().parent
+
+
+def corpus_field_mode(path: pathlib.Path) -> str:
+    """Programs named ``*.sensitive.c`` are checked field-sensitively."""
+    return "sensitive" if ".sensitive." in path.name else "insensitive"
+
+
+def main() -> None:
+    sys.path.insert(0, str(CORPUS.parents[1] / "src"))
+    from repro.checkers import Severity, run_checkers
+    from repro.frontend import generate_constraints
+    from repro.solvers.registry import solve
+
+    for path in sorted((CORPUS / "buggy").glob("*.c")):
+        program = generate_constraints(
+            path.read_text(), field_mode=corpus_field_mode(path)
+        )
+        solution = solve(program.system, "lcd+hcd")
+        report = run_checkers(
+            program.system,
+            solution,
+            program=program,
+            path=path.name,
+            min_severity=Severity.WARNING,
+        )
+        golden = [
+            {
+                "rule": d.rule,
+                "severity": d.severity.label,
+                "line": d.line,
+                "construct": d.construct,
+                "message": d.message,
+            }
+            for d in report
+        ]
+        out = path.with_suffix(".golden.json")
+        out.write_text(json.dumps(golden, indent=2) + "\n")
+        print(f"wrote {out.name}: {len(golden)} findings")
+
+
+if __name__ == "__main__":
+    main()

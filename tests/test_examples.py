@@ -62,3 +62,10 @@ class TestExamples:
         result = run_example("field_modes.py")
         assert result.returncode == 0, result.stderr
         assert "OK" in result.stdout
+
+    def test_find_bugs(self):
+        result = run_example("find_bugs.py")
+        assert result.returncode == 0, result.stderr
+        assert "OK" in result.stdout
+        assert "SARIF 2.1.0" in result.stdout
+        assert "eliminates the false positive" in result.stdout

@@ -1,0 +1,251 @@
+"""Constraint provenance: model semantics, builder threading, text
+round-trip, and front-end coverage.
+
+Provenance is deliberately *inert* for solving — two constraints that
+differ only in provenance are equal, hash alike, and produce identical
+solutions — while the checkers and ``repro reduce`` rely on it being
+carried losslessly everywhere a constraint travels.
+"""
+
+import pytest
+
+from repro.constraints.builder import ConstraintBuilder
+from repro.constraints.model import (
+    Constraint,
+    ConstraintKind,
+    Provenance,
+)
+from repro.constraints.parser import (
+    ConstraintParseError,
+    dumps_constraints,
+    loads_constraints,
+)
+from repro.frontend import generate_constraints
+
+
+class TestProvenanceModel:
+    def test_defaults(self):
+        prov = Provenance()
+        assert (prov.line, prov.construct, prov.synthesized) == (0, "", False)
+
+    def test_str_forms(self):
+        assert str(Provenance(12, "Deref")) == "Deref@12"
+        assert str(Provenance(3, "Extern", synthesized=True)) == "Extern@3!"
+
+    def test_constraints_compare_ignoring_provenance(self):
+        """``compare=False``: provenance never affects solver-visible
+        identity, so annotated and bare systems solve identically."""
+        bare = Constraint(ConstraintKind.COPY, 1, 2)
+        annotated = bare.with_prov(Provenance(7, "Assign"))
+        assert bare == annotated
+        assert hash(bare) == hash(annotated)
+        assert len({bare, annotated}) == 1
+
+    def test_with_prov_preserves_fields(self):
+        original = Constraint(ConstraintKind.LOAD, 3, 4, 2)
+        stamped = original.with_prov(Provenance(9, "Deref"))
+        assert (stamped.kind, stamped.dst, stamped.src, stamped.offset) == (
+            ConstraintKind.LOAD, 3, 4, 2,
+        )
+        assert stamped.prov == Provenance(9, "Deref")
+        assert original.prov is None
+
+
+class TestBuilderThreading:
+    def test_set_provenance_returns_previous(self):
+        b = ConstraintBuilder()
+        first = Provenance(1, "A")
+        assert b.set_provenance(first) is None
+        assert b.set_provenance(Provenance(2, "B")) == first
+        assert b.current_provenance == Provenance(2, "B")
+
+    def test_emitted_constraints_carry_current_provenance(self):
+        b = ConstraintBuilder()
+        p, x, q = b.var("p"), b.var("x"), b.var("q")
+        b.address_of(p, x)  # before any provenance: None
+        b.set_provenance(Provenance(4, "Assign"))
+        b.assign(q, p)
+        b.load(q, p)
+        b.store(p, q, offset=1)
+        b.offset_assign(q, p, 2)
+        b.set_provenance(Provenance(9, "Deref"))
+        b.load(q, p)
+        provs = [c.prov for c in b.build().constraints]
+        assert provs == [
+            None,
+            Provenance(4, "Assign"),
+            Provenance(4, "Assign"),
+            Provenance(4, "Assign"),
+            Provenance(4, "Assign"),
+            Provenance(9, "Deref"),
+        ]
+
+    def test_function_self_base_is_stamped(self):
+        b = ConstraintBuilder()
+        b.set_provenance(Provenance(2, "FunctionDef", synthesized=True))
+        handle = b.function("f", ["a"])
+        system = b.build()
+        (self_base,) = system.constraints
+        assert self_base.dst == self_base.src == handle.node
+        assert self_base.prov == Provenance(2, "FunctionDef", synthesized=True)
+
+    def test_raw_does_not_stamp(self):
+        b = ConstraintBuilder()
+        b.var("p"), b.var("x")
+        b.set_provenance(Provenance(5, "X"))
+        b.raw(Constraint(ConstraintKind.BASE, 0, 1))
+        assert b.build().constraints[0].prov is None
+
+
+def _annotated_system():
+    b = ConstraintBuilder()
+    b.set_provenance(Provenance(1, "FunctionDef", synthesized=True))
+    f = b.function("f", ["a", "b"])
+    b.set_provenance(None)
+    p, x = b.var("p"), b.var("x")
+    b.address_of(p, x)  # prov None: stays unannotated
+    b.set_provenance(Provenance(12, "Assign"))
+    q = b.var("q")
+    b.assign(q, p)
+    b.set_provenance(Provenance(13, ""))  # empty construct -> "?" form
+    b.load(q, p, offset=1)
+    b.set_provenance(Provenance(14, "Call", synthesized=True))
+    b.store(p, q, offset=2)
+    b.offset_assign(q, p, 1)
+    return b.build(), f
+
+
+class TestTextRoundTrip:
+    def test_round_trip_is_lossless(self):
+        system, _ = _annotated_system()
+        replayed = loads_constraints(dumps_constraints(system))
+        # Parameter names canonicalize to f::p<i>; the constraints and
+        # their provenance must survive exactly.
+        assert replayed.num_vars == system.num_vars
+        assert sorted(
+            (str(c), c.prov) for c in replayed.constraints
+        ) == sorted((str(c), c.prov) for c in system.constraints)
+
+    def test_fun_directive_carries_self_base_annotation(self):
+        system, f = _annotated_system()
+        text = dumps_constraints(system)
+        (fun_line,) = [
+            line for line in text.splitlines() if line.startswith("fun ")
+        ]
+        assert fun_line.split()[3:] == ["!", "1", "FunctionDef", "1"]
+        replayed = loads_constraints(text)
+        self_base = next(
+            c
+            for c in replayed.constraints
+            if c.kind is ConstraintKind.BASE and c.dst == c.src == f.node
+        )
+        assert self_base.prov == Provenance(1, "FunctionDef", synthesized=True)
+
+    def test_empty_construct_round_trips_via_question_mark(self):
+        system, _ = _annotated_system()
+        text = dumps_constraints(system)
+        assert "! 13 ? 0" in text
+        replayed = loads_constraints(text)
+        load = next(
+            c for c in replayed.constraints if c.kind is ConstraintKind.LOAD
+        )
+        assert load.prov == Provenance(13, "")
+
+    def test_unannotated_files_parse_with_no_provenance(self):
+        system = loads_constraints("var p\nvar x\nbase p x\n")
+        assert [c.prov for c in system.constraints] == [None]
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "base p x ! 5",  # too few annotation tokens
+            "base p x ! 5 Deref 0 extra",  # too many
+            "base p x ! five Deref 0",  # non-integer line
+            "base p x ! 5 Deref 2",  # bad synthesized flag
+            "! 5 Deref 0",  # annotation without a directive
+        ],
+    )
+    def test_malformed_annotations_rejected(self, line):
+        with pytest.raises(ConstraintParseError):
+            loads_constraints(f"var p\nvar x\n{line}\n")
+
+
+SAMPLE = """\
+struct pair { int *first; int *second; };
+
+int g;
+int *gp = &g;
+
+int *identity(int *p) {
+    return p;
+}
+
+int *(*fp)(int *);
+
+int main() {
+    int local;
+    int *q = &local;
+    int *h = (int *) malloc(4);
+    char *s = "hello";
+    struct pair pr;
+    int *n = NULL;
+    fp = &identity;
+    q = fp(gp);
+    q = identity(q);
+    pr.first = &g;
+    q = *&q;
+    return *q;
+}
+"""
+
+
+class TestFrontendCoverage:
+    @pytest.mark.parametrize("field_mode", ["insensitive", "sensitive"])
+    def test_every_constraint_has_provenance(self, field_mode):
+        program = generate_constraints(SAMPLE, field_mode=field_mode)
+        assert all(c.prov is not None for c in program.system.constraints)
+
+    def test_lines_stay_within_the_source(self):
+        program = generate_constraints(SAMPLE)
+        n_lines = SAMPLE.count("\n")
+        for c in program.system.constraints:
+            assert 0 <= c.prov.line <= n_lines
+
+    def test_constructs_cover_the_language(self):
+        program = generate_constraints(SAMPLE)
+        constructs = {c.prov.construct for c in program.system.constraints}
+        for expected in (
+            "FunctionDef",
+            "Declaration",
+            "Deref",
+            "Call",
+            "IndirectCall",
+            "Alloc",
+            "StringLiteral",
+            "Null",
+        ):
+            assert expected in constructs, expected
+
+    def test_synthesized_flags(self):
+        program = generate_constraints(SAMPLE)
+        by_construct = {}
+        for c in program.system.constraints:
+            by_construct.setdefault(c.prov.construct, set()).add(
+                c.prov.synthesized
+            )
+        assert by_construct["FunctionDef"] == {True}
+        assert by_construct["Deref"] == {False}
+        assert by_construct["Declaration"] == {False}
+
+    def test_null_node_is_interned_once(self):
+        program = generate_constraints(SAMPLE)
+        assert program.null_node is not None
+        assert program.system.name_of(program.null_node) == "<null>"
+
+    def test_generated_program_round_trips_with_provenance(self):
+        program = generate_constraints(SAMPLE)
+        replayed = loads_constraints(dumps_constraints(program.system))
+        assert replayed.num_vars == program.system.num_vars
+        assert sorted(
+            (str(c), c.prov) for c in replayed.constraints
+        ) == sorted((str(c), c.prov) for c in program.system.constraints)
