@@ -85,3 +85,28 @@ def test_parallel_scaling(benchmark):
             assert par.waves == first.waves, name
             assert par.levels == first.levels, name
             assert par.deltas_merged == first.deltas_merged, name
+
+    # Scaling sanity: with real cores, fanning out must not cost more
+    # than a bounded dispatch overhead versus one worker.  A single-core
+    # runner cannot measure this — warn loudly (GitHub annotation) and
+    # skip rather than silently pass.
+    cores = os.cpu_count() or 1
+    if cores < 2:
+        print(
+            "::warning title=bench_21 scaling assertion skipped::"
+            f"runner reports {cores} CPU core(s); parallel scaling "
+            "cannot be measured"
+        )
+    elif max(WORKER_COUNTS) >= 2:
+        for name, solvers in runs.items():
+            single = solvers[f"wave-par w={WORKER_COUNTS[0]}"].stats.solve_seconds
+            best = min(
+                solver.stats.solve_seconds
+                for label, solver in solvers.items()
+                if label != "wave"
+            )
+            if single > 0.05:  # below that, dispatch noise dominates
+                assert best <= single * 3.0, (
+                    f"{name}: best parallel config {best:.3f}s is >3x the "
+                    f"single-worker time {single:.3f}s"
+                )

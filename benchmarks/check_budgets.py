@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""CI budget gate over ``BENCH_repr.json``.
+
+The bench suite records declared performance budgets alongside the
+numbers they govern: any field ``<base>_budget`` asserts a bound on the
+sibling field ``<base>``, with ``<base>_budget_cmp`` choosing the
+direction — ``"ge"`` (value must stay at or above the budget, e.g. a
+speedup floor) or ``"le"`` (at or below, e.g. an overhead ceiling;
+the default).  Benches only emit budget fields at scales where the
+measurement is meaningful, so smoke runs record numbers without
+arming the gate.
+
+This script walks every record (top-level ``records`` and ``extra``),
+checks each declared budget, prints a GitHub ``::error`` annotation per
+regression, and exits nonzero if any budget is missed.  Run it after
+the bench session that wrote the JSON::
+
+    python benchmarks/check_budgets.py [path/to/BENCH_repr.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Dict, Iterator, List, Tuple
+
+DEFAULT_JSON = os.path.join(os.path.dirname(__file__), "..", "BENCH_repr.json")
+
+_BUDGET_SUFFIX = "_budget"
+_CMP_SUFFIX = "_budget_cmp"
+
+
+def iter_records(payload: Dict) -> Iterator[Tuple[str, Dict]]:
+    """Yield (label, record) for every record in the payload."""
+    for record in payload.get("records", []):
+        label = "/".join(
+            str(record.get(key, "?")) for key in ("workload", "solver", "pts")
+        )
+        yield label, record
+    for record in payload.get("extra", []):
+        label = record.get("kind", "extra")
+        workload = record.get("workload")
+        if workload:
+            label = f"{label}/{workload}"
+        yield label, record
+
+
+def check_record(label: str, record: Dict) -> List[str]:
+    """Budget violations in one record, as human-readable messages."""
+    problems = []
+    for key, budget in record.items():
+        if not key.endswith(_BUDGET_SUFFIX) or key.endswith(_CMP_SUFFIX):
+            continue
+        base = key[: -len(_BUDGET_SUFFIX)]
+        if base not in record:
+            problems.append(
+                f"{label}: budget {key!r} has no measured field {base!r}"
+            )
+            continue
+        value = record[base]
+        cmp = record.get(base + _CMP_SUFFIX, "le")
+        if cmp == "ge":
+            ok = value >= budget
+            relation = ">="
+        elif cmp == "le":
+            ok = value <= budget
+            relation = "<="
+        else:
+            problems.append(
+                f"{label}: budget {key!r} has unknown comparison {cmp!r}"
+            )
+            continue
+        if not ok:
+            problems.append(
+                f"{label}: {base} = {value:.4g} violates budget "
+                f"{base} {relation} {budget:.4g}"
+            )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    path = argv[1] if len(argv) > 1 else DEFAULT_JSON
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        print(f"::error title=bench budgets::bench JSON not found at {path}")
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"::error title=bench budgets::unparseable bench JSON: {exc}")
+        return 2
+
+    checked = 0
+    failures: List[str] = []
+    for label, record in iter_records(payload):
+        budgets_here = [
+            key
+            for key in record
+            if key.endswith(_BUDGET_SUFFIX) and not key.endswith(_CMP_SUFFIX)
+        ]
+        checked += len(budgets_here)
+        failures.extend(check_record(label, record))
+
+    scale = payload.get("scale_denominator")
+    if failures:
+        for message in failures:
+            print(f"::error title=bench budget regression::{message}")
+        print(
+            f"{len(failures)} of {checked} declared budget(s) violated "
+            f"(scale 1/{scale:g})"
+        )
+        return 1
+    if checked:
+        print(f"all {checked} declared budget(s) hold (scale 1/{scale:g})")
+    else:
+        print(
+            f"no budgets declared at this scale (1/{scale:g}); "
+            "numbers recorded, gate not armed"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -360,7 +360,8 @@ def build_parser() -> argparse.ArgumentParser:
             choices=list(FAMILY_KINDS),
             help="points-to representation: GCC-style sparse bitmaps, "
             "hash-consed shared bitmaps (interned, memoized unions), "
-            "or per-variable BDDs",
+            "per-variable BDDs, or bignum intsets (fused word-parallel "
+            "kernel)",
         )
 
     p_solve = sub.add_parser("solve", help="solve a constraint file")
@@ -466,7 +467,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--pts",
         default="bitmap",
         choices=list(FAMILY_KINDS),
-        help="points-to representation (bitmap, shared, or bdd)",
+        help="points-to representation (bitmap, shared, bdd, or int)",
     )
     p_compare.add_argument(
         "--workers", type=int, default=1,

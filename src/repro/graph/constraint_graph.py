@@ -30,8 +30,12 @@ class ConstraintGraph:
         self.family = family
         n = system.num_vars
         self.uf = UnionFind(n)
+        #: Adjacency sets share the family's scratch layout so fused
+        #: kernels iterate and merge them with the same word-parallel
+        #: machinery as the points-to sets themselves.
+        self._edge_set = family.make_scratch().__class__
         #: succ[u] holds v  <=>  edge u -> v  <=>  pts(v) >= pts(u).
-        self.succ: List[SparseBitmap] = [SparseBitmap() for _ in range(n)]
+        self.succ = [self._edge_set() for _ in range(n)]
         self.pts: List[PointsToSet] = [family.make() for _ in range(n)]
         #: loads[p]  = {(dst, k)}  for constraints  dst = *(p + k)
         self.loads: List[Set[Tuple[int, int]]] = [set() for _ in range(n)]
@@ -42,8 +46,10 @@ class ConstraintGraph:
         self.offs: List[Set[Tuple[int, int]]] = [set() for _ in range(n)]
         #: complex_done[p] — pointees already run through p's complex
         #: constraints (difference processing: a pointee is handled once
-        #: per node, not once per worklist visit).
-        self.complex_done: List[SparseBitmap] = [SparseBitmap() for _ in range(n)]
+        #: per node, not once per worklist visit).  Allocated by the
+        #: family so fused kernels can diff them against points-to sets
+        #: in the representation's own layout.
+        self.complex_done = [family.make_scratch() for _ in range(n)]
         #: Cross-resolution jobs created by collapses: when two nodes with
         #: different processed-pointee sets merge, each side's already-done
         #: pointees still owe a pass over the *other* side's constraints.
@@ -53,9 +59,8 @@ class ConstraintGraph:
         ]
         #: prev_pts[n] — pointees already offered to n's successors, used
         #: only by solvers running in difference-propagation mode (Pearce
-        #: et al. 2003).  Kept as plain bitmaps regardless of the points-to
-        #: family.
-        self.prev_pts: List[SparseBitmap] = [SparseBitmap() for _ in range(n)]
+        #: et al. 2003).  Family-allocated scratch, like ``complex_done``.
+        self.prev_pts = [family.make_scratch() for _ in range(n)]
         #: Edges added since their source last propagated: these must carry
         #: the *full* set once (difference propagation only covers edges
         #: that existed at the previous offer).
@@ -211,14 +216,14 @@ class ConstraintGraph:
             self.prev_pts[rep].iand(self.prev_pts[member])
             self.fresh_edges[rep].extend(self.fresh_edges[member])
             # Release the loser's state: all lookups go through find().
-            self.succ[member] = SparseBitmap()
+            self.succ[member] = self._edge_set()
             self.pts[member] = self.family.make()
             self.loads[member] = set()
             self.stores[member] = set()
             self.offs[member] = set()
-            self.complex_done[member] = SparseBitmap()
+            self.complex_done[member] = self.family.make_scratch()
             self.pending_complex[member] = []
-            self.prev_pts[member] = SparseBitmap()
+            self.prev_pts[member] = self.family.make_scratch()
             self.fresh_edges[member] = []
         if merged:
             self._normalize_succ(rep)
@@ -227,7 +232,7 @@ class ConstraintGraph:
     def _normalize_succ(self, node: int) -> None:
         """Rewrite a successor set to representative ids, dropping loops."""
         uf = self.uf
-        fresh = SparseBitmap()
+        fresh = self._edge_set()
         for raw in self.succ[node]:
             succ = uf.find(raw)
             if succ != node:

@@ -63,8 +63,20 @@ class PointsToFamily:
     #: fast paths that would cost a scan on plain bitmaps.
     constant_time_equality: bool = False
 
+    #: True when the family supports the solvers' fused word-parallel
+    #: propagate kernel (whole-set bignum diffs; the ``int`` family).
+    fused_kernel: bool = False
+
     def make(self) -> PointsToSet:
         raise NotImplementedError
+
+    def make_scratch(self):
+        """Solver-side scratch set (processed-pointee and difference-
+        propagation state), in whatever layout diffs cheapest against
+        this family's points-to sets.  Defaults to a sparse bitmap."""
+        from repro.datastructs.sparse_bitmap import SparseBitmap
+
+        return SparseBitmap()
 
     def make_from(self, locs: Iterable[int]) -> PointsToSet:
         """A set holding exactly ``locs``.
@@ -88,11 +100,12 @@ class PointsToFamily:
 
 
 #: Registered representation names, in the benchmarks' comparison order.
-FAMILY_KINDS = ("bitmap", "shared", "bdd")
+FAMILY_KINDS = ("bitmap", "shared", "bdd", "int")
 
 
 def make_family(kind: str, num_locs: int) -> PointsToFamily:
-    """Build a points-to family: ``"bitmap"``, ``"shared"`` or ``"bdd"``.
+    """Build a points-to family: ``"bitmap"``, ``"shared"``, ``"bdd"`` or
+    ``"int"``.
 
     ``num_locs`` bounds the location ids the sets will hold (the BDD family
     sizes its domain from it; the bitmap families ignore it).
@@ -100,6 +113,7 @@ def make_family(kind: str, num_locs: int) -> PointsToFamily:
     # Imported here to avoid a cycle with the implementation modules.
     from repro.points_to.bdd_set import BDDPointsToFamily
     from repro.points_to.bitmap_set import BitmapPointsToFamily
+    from repro.points_to.intset import IntPointsToFamily
     from repro.points_to.shared_set import SharedPointsToFamily
 
     if kind == "bitmap":
@@ -108,6 +122,8 @@ def make_family(kind: str, num_locs: int) -> PointsToFamily:
         return SharedPointsToFamily()
     if kind == "bdd":
         return BDDPointsToFamily(num_locs)
+    if kind == "int":
+        return IntPointsToFamily()
     raise ValueError(
         f"unknown points-to representation {kind!r} "
         f"(want one of {', '.join(repr(k) for k in FAMILY_KINDS)})"

@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.analysis.solution import PointsToSolution
 from repro.constraints.model import ConstraintSystem
 from repro.datastructs.intern_table import InternStats
+from repro.datastructs.intset import iter_bits as _iter_bits
 from repro.datastructs.sparse_bitmap import SparseBitmap
 from repro.graph.constraint_graph import ConstraintGraph
 from repro.points_to.interface import PointsToFamily, make_family
@@ -181,6 +182,14 @@ class GraphSolver(BaseSolver):
         #: over newly inserted edges, which carry the full set once.
         self.difference_propagation = difference_propagation
         self.family: PointsToFamily = make_family(pts, system.num_vars)
+        #: Fused word-parallel kernel: families whose sets are canonical
+        #: bignums (``int``) run batched whole-set diffs instead of the
+        #: per-element loops, with propagation steps memoized through the
+        #: intern table (union/add/offset memos).
+        self._fused = bool(getattr(self.family, "fused_kernel", False))
+        #: offset -> bignum mask of locations with max_offset >= offset
+        #: (the certifier's ``_offset_mask`` trick), built lazily.
+        self._offset_masks: Dict[int, int] = {}
         self.graph = ConstraintGraph(system, self.family)
         #: HCD pair list L, keyed by current representative.
         self._hcd_pairs: Dict[int, List[Tuple[int, int]]] = {}
@@ -246,10 +255,17 @@ class GraphSolver(BaseSolver):
         graph = self.graph
         done = self._hcd_done.get(node)
         if done is None:
-            done = self._hcd_done[node] = SparseBitmap()
-        fresh = [loc for loc in graph.pts_of(node) if loc not in done]
-        if not fresh:
-            return node
+            done = self._hcd_done[node] = self.family.make_scratch()
+        if self._fused:
+            # One word-parallel diff instead of a membership scan.
+            fresh_bits = graph.pts_of(node).bits & ~done.bits
+            if not fresh_bits:
+                return node
+            fresh = list(_iter_bits(fresh_bits))
+        else:
+            fresh = [loc for loc in graph.pts_of(node) if loc not in done]
+            if not fresh:
+                return node
         for offset, partner in list(pairs):
             targets = []
             for loc in fresh:
@@ -272,9 +288,12 @@ class GraphSolver(BaseSolver):
             # pointees will be re-examined against the acquired pairs.)
             done = self._hcd_done.get(node)
             if done is None:
-                done = self._hcd_done[node] = SparseBitmap()
-            for loc in fresh:
-                done.add(loc)
+                done = self._hcd_done[node] = self.family.make_scratch()
+            if self._fused:
+                done.bits |= fresh_bits
+            else:
+                for loc in fresh:
+                    done.add(loc)
         return node
 
     # ------------------------------------------------------------------
@@ -290,17 +309,28 @@ class GraphSolver(BaseSolver):
         propagate).
         """
         graph = self.graph
+        fused = self._fused
         pending = graph.pending_complex[node]
         if pending:
             graph.pending_complex[node] = []
             for loads, stores, offs, locs in pending:
-                self._apply_complex(loads, stores, offs, locs, push)
+                if fused:
+                    self._apply_complex_fused(loads, stores, offs, locs.bits, push)
+                else:
+                    self._apply_complex(loads, stores, offs, locs, push)
         loads = graph.loads[node]
         stores = graph.stores[node]
         offs = graph.offs[node]
         if not loads and not stores and not offs:
             return
         done = graph.complex_done[node]
+        if fused:
+            fresh_bits = graph.pts_of(node).bits & ~done.bits
+            if not fresh_bits:
+                return
+            done.bits |= fresh_bits
+            self._apply_complex_fused(loads, stores, offs, fresh_bits, push)
+            return
         fresh = [loc for loc in graph.pts_of(node) if loc not in done]
         if not fresh:
             return
@@ -361,6 +391,92 @@ class GraphSolver(BaseSolver):
                 push(dst_rep)
         self.stats.edges_added += edges_added
 
+    def _offset_mask(self, offset: int) -> int:
+        """Bignum of locations whose layout extends ``offset`` slots —
+        the certifier's trick: an OFFS/offset-deref step over a whole
+        pointee set becomes ``(bits & mask) << offset``."""
+        mask = self._offset_masks.get(offset)
+        if mask is None:
+            if offset == 0:
+                mask = -1  # every location is valid at offset 0
+            else:
+                mask = 0
+                for loc, max_off in enumerate(self.system.max_offset):
+                    if max_off >= offset:
+                        mask |= 1 << loc
+            self._offset_masks[offset] = mask
+        return mask
+
+    def _apply_complex_fused(self, loads, stores, offs, locs_bits, push) -> None:
+        """Word-parallel `_apply_complex`: pointees arrive as one bignum,
+        offset filtering is a mask, the offset-copy form is one memoized
+        masked shift, and loads fold the dereferenced sets through the
+        family's deref union-cache into a single whole-set union."""
+        graph = self.graph
+        find = graph.uf.find
+        succ = graph.succ
+        pts_list = graph.pts
+        fresh_edges = graph.fresh_edges
+        family = self.family
+        table = family.table
+        diff_prop = self.difference_propagation
+        edges_added = 0
+        for dst, offset in loads:
+            dst_rep = find(dst)
+            bits = locs_bits & self._offset_mask(offset) if offset else locs_bits
+            fresh_sources = []
+            while bits:
+                low = bits & -bits
+                bits ^= low
+                source = find(low.bit_length() - 1 + offset)
+                if source != dst_rep and succ[source].add(dst_rep):
+                    edges_added += 1
+                    if diff_prop:
+                        fresh_edges[source].append(dst_rep)
+                    push(source)
+                    fresh_sources.append(source)
+            if fresh_sources:
+                # Certifier-style deref union-cache: accumulate the union
+                # of the dereferenced sets per constraint and apply it to
+                # the destination eagerly as one whole-set union.  The
+                # inserted edges keep completeness; this only accelerates
+                # convergence toward the same least model.
+                acc_bits, acc_id = family.deref_union(
+                    ("l", dst, offset),
+                    (
+                        (pts_list[s].bits, pts_list[s].node_id)
+                        for s in fresh_sources
+                    ),
+                )
+                self.stats.propagations += 1
+                if pts_list[dst_rep].ior_bits_and_test(acc_bits, acc_id):
+                    push(dst_rep)
+        for src, offset in stores:
+            src_rep = find(src)
+            bits = locs_bits & self._offset_mask(offset) if offset else locs_bits
+            while bits:
+                low = bits & -bits
+                bits ^= low
+                target = find(low.bit_length() - 1 + offset)
+                if target != src_rep and succ[src_rep].add(target):
+                    edges_added += 1
+                    if diff_prop:
+                        fresh_edges[src_rep].append(target)
+                    push(src_rep)
+        if offs:
+            locs_canon, locs_id = table.intern(locs_bits)
+            for dst, offset in offs:
+                shifted_bits, shifted_id = table.shifted(
+                    locs_canon, locs_id, self._offset_mask(offset), offset
+                )
+                if not shifted_bits:
+                    continue
+                dst_rep = find(dst)
+                self.stats.propagations += 1
+                if pts_list[dst_rep].ior_bits_and_test(shifted_bits, shifted_id):
+                    push(dst_rep)
+        self.stats.edges_added += edges_added
+
     # ------------------------------------------------------------------
     # Propagation (step 2 of the Figure 1 loop body)
     # ------------------------------------------------------------------
@@ -372,6 +488,9 @@ class GraphSolver(BaseSolver):
             self.sanitizer.check_monotone(node)
             for succ in list(graph.successors(node)):
                 self.sanitizer.check_monotone(succ)
+        if self._fused:
+            self._propagate_fused(node, push)
+            return
         pts = graph.pts_of(node)
         # Canonical families make equality O(1): when source and target
         # already hold the same node id the union is skipped entirely —
@@ -414,6 +533,67 @@ class GraphSolver(BaseSolver):
             if graph.pts_of(succ).ior_and_test(delta_set):
                 push(succ)
 
+    def _propagate_fused(self, node: int, push) -> None:
+        """Word-parallel propagate: one tight loop over raw successor
+        ids with the union-find hoisted, unions memoized by canonical id
+        through the intern table, and the difference-mode delta computed
+        as a single masked bignum diff."""
+        graph = self.graph
+        uf_find = graph.uf.find
+        pts_list = graph.pts
+        stats = self.stats
+        node = uf_find(node)
+        pts = pts_list[node]
+        if not self.difference_propagation:
+            pts_bits = pts.bits
+            pts_id = pts.node_id
+            union = self.family.table.union
+            for raw in list(graph.succ[node]):
+                succ = uf_find(raw)
+                if succ == node:
+                    continue
+                stats.propagations += 1
+                target = pts_list[succ]
+                target_id = target.node_id
+                if target_id == pts_id:
+                    continue
+                merged_bits, merged_id = union(
+                    target.bits, target_id, pts_bits, pts_id
+                )
+                if merged_id != target_id:
+                    target.bits = merged_bits
+                    target.node_id = merged_id
+                    push(succ)
+            return
+
+        # Difference propagation, fused: fresh edges carry the full set
+        # once; the delta versus prev is one `pts & ~prev` bignum diff.
+        fresh_edges = graph.fresh_edges[node]
+        if fresh_edges:
+            graph.fresh_edges[node] = []
+            offered = set()
+            for raw in fresh_edges:
+                succ = uf_find(raw)
+                if succ == node or succ in offered:
+                    continue
+                offered.add(succ)
+                stats.propagations += 1
+                if pts_list[succ].ior_and_test(pts):
+                    push(succ)
+        prev = graph.prev_pts[node]
+        delta_bits = pts.bits & ~prev.bits
+        if not delta_bits:
+            return
+        prev.bits |= delta_bits
+        delta_canon, delta_id = self.family.table.intern(delta_bits)
+        for raw in list(graph.succ[node]):
+            succ = uf_find(raw)
+            if succ == node:
+                continue
+            stats.propagations += 1
+            if pts_list[succ].ior_bits_and_test(delta_canon, delta_id):
+                push(succ)
+
     # ------------------------------------------------------------------
     # Solution export and accounting
     # ------------------------------------------------------------------
@@ -421,7 +601,20 @@ class GraphSolver(BaseSolver):
     def _export_solution(self) -> PointsToSolution:
         graph = self.graph
         num_vars = self.system.num_vars
-        mapping = {var: list(graph.pts_of(var)) for var in range(num_vars)}
+        if self._fused:
+            # Canonical bignums: decode each distinct set value once and
+            # share the (read-only) location list across the variables
+            # holding it — converged solutions are heavily duplicated.
+            decoded: Dict[int, List[int]] = {}
+            mapping = {}
+            for var in range(num_vars):
+                bits = graph.pts_of(var).bits
+                locs = decoded.get(id(bits))
+                if locs is None:
+                    locs = decoded[id(bits)] = list(_iter_bits(bits))
+                mapping[var] = locs
+        else:
+            mapping = {var: list(graph.pts_of(var)) for var in range(num_vars)}
         # Hand the solver's native sets to the solution so alias/checker
         # queries run on the representation's own AND (merged variables
         # share one set object, which is fine for read-only queries).

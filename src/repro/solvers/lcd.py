@@ -57,53 +57,155 @@ class LCDSolver(GraphSolver):
             if len(graph.pts_of(node)):
                 worklist.push(node)
 
-        while worklist:
-            node = graph.find(worklist.pop())
-            self.stats.iterations += 1
-            if self.hcd_enabled:
-                node = self.hcd_check(node, worklist.push)
-            self.resolve_complex(node, worklist.push)
+        if self._fused:
+            self._run_fused(worklist, attempted)
+        else:
+            while worklist:
+                node = graph.find(worklist.pop())
+                self.stats.iterations += 1
+                if self.hcd_enabled:
+                    node = self.hcd_check(node, worklist.push)
+                self.resolve_complex(node, worklist.push)
 
-            for raw_succ in list(graph.successors(node)):
-                rep = graph.find(node)
-                succ = graph.find(raw_succ)
-                if succ == rep:
-                    continue
-                pts_rep = graph.pts_of(rep)
-                pts_succ = graph.pts_of(succ)
-                edge = (rep, succ)
-                if (
-                    len(pts_rep)
-                    and pts_succ.same_as(pts_rep)
-                    and edge not in attempted
-                ):
-                    if self.once_per_edge:
-                        attempted.add(edge)
-                    if self.sanitizer is not None:
-                        self.sanitizer.on_lcd_trigger(edge)
-                    self.stats.lcd_triggers += 1
-                    self._detect_and_collapse(succ, worklist.push)
+                for raw_succ in list(graph.successors(node)):
                     rep = graph.find(node)
                     succ = graph.find(raw_succ)
                     if succ == rep:
                         continue
-                self.stats.propagations += 1
-                if graph.pts_of(succ).ior_and_test(graph.pts_of(rep)):
-                    worklist.push(succ)
+                    pts_rep = graph.pts_of(rep)
+                    pts_succ = graph.pts_of(succ)
+                    edge = (rep, succ)
+                    if (
+                        len(pts_rep)
+                        and pts_succ.same_as(pts_rep)
+                        and edge not in attempted
+                    ):
+                        if self.once_per_edge:
+                            attempted.add(edge)
+                        if self.sanitizer is not None:
+                            self.sanitizer.on_lcd_trigger(edge)
+                        self.stats.lcd_triggers += 1
+                        self._detect_and_collapse(succ, worklist.push)
+                        rep = graph.find(node)
+                        succ = graph.find(raw_succ)
+                        if succ == rep:
+                            continue
+                    self.stats.propagations += 1
+                    if graph.pts_of(succ).ior_and_test(graph.pts_of(rep)):
+                        worklist.push(succ)
 
         return self._export_solution()
 
-    def _detect_and_collapse(self, root: int, push) -> None:
-        """DFS (Nuutila) from ``root``; collapse every cycle found."""
+    def _run_fused(self, worklist, attempted: Set[Tuple[int, int]]) -> None:
+        """The Figure 2 loop on the fused kernel: union-find and points-to
+        lists hoisted into locals, the trigger's set equality downgraded
+        to a canonical-object comparison, and edge unions memoized by id
+        through the intern table — bignum ops only, no per-element work."""
+        graph = self.graph
+        uf_find = graph.uf.find
+        #: Direct parent-array fast path: nodes that are their own parent
+        #: (the overwhelming majority) resolve with two list indexes and
+        #: no call; chains fall back to the compressing find.
+        parent = graph.uf._parent
+        pts_list = graph.pts
+        stats = self.stats
+        push = worklist.push
+        union = self.family.table.union
+
+        while worklist:
+            node = uf_find(worklist.pop())
+            stats.iterations += 1
+            if self.hcd_enabled:
+                node = self.hcd_check(node, push)
+            self.resolve_complex(node, push)
+
+            rep = uf_find(node)
+            pts_rep = pts_list[rep]
+            pts_rep_bits = pts_rep.bits
+            # Triggers collect during the sweep and launch ONE multi-root
+            # DFS afterwards: overlapping reachable regions are searched
+            # once (Nuutila shares visited state across roots) instead of
+            # once per trigger, and the sweep's representatives stay
+            # stable, keeping the hoisted locals valid throughout.
+            trigger_roots = []
+            edge_bits = graph.succ[rep].bits
+            while edge_bits:
+                low = edge_bits & -edge_bits
+                edge_bits ^= low
+                raw = low.bit_length() - 1
+                succ = parent[raw]
+                if parent[succ] != succ:
+                    succ = uf_find(raw)
+                if succ == rep:
+                    continue
+                pts_succ = pts_list[succ]
+                if pts_succ.bits == pts_rep_bits and pts_rep_bits:
+                    edge = (rep, succ)
+                    if edge not in attempted:
+                        if self.once_per_edge:
+                            attempted.add(edge)
+                        if self.sanitizer is not None:
+                            self.sanitizer.on_lcd_trigger(edge)
+                        stats.lcd_triggers += 1
+                        trigger_roots.append(succ)
+                    continue  # equal sets: the union below is a no-op
+                stats.propagations += 1
+                target_id = pts_succ.node_id
+                merged_bits, merged_id = union(
+                    pts_succ.bits, target_id, pts_rep_bits, pts_rep.node_id
+                )
+                if merged_id != target_id:
+                    pts_succ.bits = merged_bits
+                    pts_succ.node_id = merged_id
+                    push(succ)
+            if trigger_roots:
+                self._detect_and_collapse(trigger_roots, push)
+
+    def _detect_and_collapse(self, roots, push) -> None:
+        """DFS (Nuutila) from ``roots``; collapse every cycle found.
+
+        ``roots`` is one node or a list of them — a multi-root search
+        shares its visited state, so overlapping reachable regions cost
+        one traversal (the fused loop batches a whole sweep's triggers).
+        """
         graph = self.graph
         visited = 0
 
-        def successors(node: int):
-            nonlocal visited
-            visited += 1
-            return list(graph.successors(node))
+        if self._fused:
+            # Same normalization as graph.successors, without the
+            # generator machinery — this callback runs once per node the
+            # DFS touches, which LCD does a lot of.
+            uf_find = graph.uf.find
+            parent = graph.uf._parent
+            succ_list = graph.succ
 
-        components = nuutila_scc([graph.find(root)], successors)
+            def successors(node: int):
+                nonlocal visited
+                visited += 1
+                node = uf_find(node)
+                out = []
+                bits = succ_list[node].bits
+                while bits:
+                    low = bits & -bits
+                    bits ^= low
+                    raw = low.bit_length() - 1
+                    rep = parent[raw]
+                    if parent[rep] != rep:
+                        rep = uf_find(raw)
+                    if rep != node:
+                        out.append(rep)
+                return out
+
+        else:
+
+            def successors(node: int):
+                nonlocal visited
+                visited += 1
+                return list(graph.successors(node))
+
+        if isinstance(roots, int):
+            roots = [roots]
+        components = nuutila_scc([graph.find(root) for root in roots], successors)
         self.stats.nodes_searched += max(visited, len(components))
         for component in components:
             if len(component) >= 2:

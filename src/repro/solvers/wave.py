@@ -99,6 +99,8 @@ class WaveSolver(GraphSolver):
 
     def _wave(self, order: List[int]) -> bool:
         """One difference-propagation pass in topological order."""
+        if self._fused:
+            return self._wave_fused(order)
         graph = self.graph
         changed = False
         for node in order:
@@ -129,6 +131,48 @@ class WaveSolver(GraphSolver):
             for succ in list(graph.successors(node)):
                 self.stats.propagations += 1
                 if graph.pts_of(succ).ior_and_test(delta_set):
+                    changed = True
+        return changed
+
+    def _wave_fused(self, order: List[int]) -> bool:
+        """The wave on the fused kernel: each node's difference is one
+        ``pts & ~prev`` bignum diff, interned once and offered to every
+        successor as a memoized whole-set union."""
+        graph = self.graph
+        uf_find = graph.uf.find
+        pts_list = graph.pts
+        stats = self.stats
+        intern = self.family.table.intern
+        changed = False
+        for node in order:
+            node = uf_find(node)
+            if self.sanitizer is not None:
+                self.sanitizer.check_monotone(node)
+            pts = pts_list[node]
+            fresh_edges = graph.fresh_edges[node]
+            if fresh_edges:
+                graph.fresh_edges[node] = []
+                offered = set()
+                for raw in fresh_edges:
+                    succ = uf_find(raw)
+                    if succ == node or succ in offered:
+                        continue
+                    offered.add(succ)
+                    stats.propagations += 1
+                    if pts_list[succ].ior_and_test(pts):
+                        changed = True
+            prev = graph.prev_pts[node]
+            delta_bits = pts.bits & ~prev.bits
+            if not delta_bits:
+                continue
+            prev.bits |= delta_bits
+            delta_canon, delta_id = intern(delta_bits)
+            for raw in list(graph.succ[node]):
+                succ = uf_find(raw)
+                if succ == node:
+                    continue
+                stats.propagations += 1
+                if pts_list[succ].ior_bits_and_test(delta_canon, delta_id):
                     changed = True
         return changed
 

@@ -173,6 +173,15 @@ class WaveParallelSolver(WaveSolver):
                 if not delta:
                     continue
                 prev.ior(delta)
+            elif self._fused:
+                # Fused kernel: the difference is one bignum diff and the
+                # delta set is born whole from it (interned, so the merge
+                # pass below runs on memoized whole-set unions).
+                delta_bits = pts.bits & ~prev.bits
+                if not delta_bits:
+                    continue
+                prev.bits |= delta_bits
+                delta = self.family.make_from_bits(delta_bits)
             else:
                 fresh = [loc for loc in pts if loc not in prev]
                 if not fresh:

@@ -214,6 +214,9 @@ class Sanitizer:
         if table is None:
             return
         self.stats.intern_checks += 1
+        if hasattr(table, "_by_value"):
+            self._check_int_intern(table)
+            return
         seen: Dict[Tuple, int] = {}
         for key, node in list(table._by_key.items()):
             actual = node.bits.content_key()
@@ -234,6 +237,44 @@ class Sanitizer:
                     other_id=previous,
                 )
             seen[actual] = node.id
+
+    def _check_int_intern(self, table) -> None:
+        """Canonicity for the ``int`` family's bignum intern table.
+
+        Content uniqueness is structural (the table is keyed by value),
+        so the live invariants are: every canonical object still equals
+        its key, ids are never shared between distinct values, and every
+        memoized result resolves to the same id the canonical table
+        would assign its value.
+        """
+        ids_seen: Dict[int, int] = {}
+        for value, (canon, node_id) in list(table._by_value.items()):
+            if canon != value:
+                self._fail(
+                    "intern-canonicity",
+                    "canonical bignum no longer equals its interning key",
+                    node_id=node_id,
+                    key_bits=value.bit_count(),
+                    actual_bits=canon.bit_count(),
+                )
+            previous = ids_seen.get(node_id)
+            if previous is not None:
+                self._fail(
+                    "intern-uniqueness",
+                    "two live canonical bignums share one id",
+                    node_id=node_id,
+                )
+            ids_seen[node_id] = node_id
+        for memo in (table._union_memo, table._add_memo, table._offset_memo):
+            for bits, node_id in list(memo.values()):
+                entry = table._by_value.get(bits)
+                if entry is not None and entry[1] != node_id:
+                    self._fail(
+                        "intern-canonicity",
+                        "memoized result disagrees with the canonical table",
+                        node_id=node_id,
+                        canonical_id=entry[1],
+                    )
 
     # ------------------------------------------------------------------
     # End of run

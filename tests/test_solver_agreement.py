@@ -139,6 +139,79 @@ class TestSharedFamily:
         assert stats.intern.live_nodes < solver.family.sets_made
 
 
+class TestIntFamily:
+    """The bignum family runs the fused word-parallel kernel, which takes
+    different code paths through every solver — so its bar is the same as
+    ``shared``'s: *bit-identical* to bitmaps for every algorithm."""
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_every_solver_on_fixtures(self, simple_system, cycle_system, algorithm):
+        for system in (simple_system, cycle_system):
+            assert solve(system, algorithm, pts="int") == solve(
+                system, algorithm, pts="bitmap"
+            ), algorithm
+
+    @pytest.mark.parametrize("name", ["emacs", "wine", "linux"])
+    def test_workloads_bit_identical(self, name):
+        system = generate_workload(name, scale=1 / 512, seed=2)
+        reference = solve(system, "naive", pts="bitmap")
+        for algorithm in ("lcd", "hcd", "lcd+hcd", "pkh", "pkh03", "wave"):
+            assert solve(system, algorithm, pts="int") == reference, algorithm
+        for workers in (1, 2):
+            assert (
+                solve(system, "wave-par", pts="int", workers=workers) == reference
+            ), workers
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_random_systems_agree(self, seed):
+        system = random_system(seed)
+        reference = solve(system, "naive")
+        for algorithm in ("lcd", "lcd+hcd", "ht", "pkh", "hcd", "wave"):
+            result = solve(system, algorithm, pts="int")
+            assert result == reference, (algorithm, result.diff(reference))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_difference_propagation_agrees(self, seed):
+        """The fused kernel has a distinct diff-mode path (word-parallel
+        prev-set deltas); exercise it across its consumers."""
+        from repro.solvers.registry import _BASE_SOLVERS
+
+        system = random_system(seed)
+        reference = solve(system, "naive")
+        for algorithm in ("naive", "pkh", "hcd"):
+            solver = _BASE_SOLVERS[algorithm](
+                system, pts="int", difference_propagation=True
+            )
+            assert solver.solve() == reference, algorithm
+
+    def test_int_stats_populated(self):
+        from repro.solvers.registry import make_solver
+
+        system = generate_workload("emacs", scale=1 / 512, seed=2)
+        solver = make_solver(system, "lcd+hcd", pts="int")
+        solver.solve()
+        stats = solver.stats
+        assert stats.intern is not None
+        assert stats.intern.live_nodes >= 1  # at least the pinned empty set
+        assert stats.intern.peak_nodes >= stats.intern.live_nodes
+        assert "intern_union_memo_hits" in stats.as_dict()
+        assert stats.pts_memory_bytes > 0
+        # Sharing: far fewer canonical values than set handles.
+        assert stats.intern.live_nodes < solver.family.sets_made
+
+    def test_sanitized_run_accepts(self):
+        from repro.solvers.registry import make_solver
+
+        system = generate_workload("wine", scale=1 / 512, seed=2)
+        reference = solve(system, "naive", pts="bitmap")
+        solver = make_solver(system, "lcd+hcd", pts="int", sanitize=True)
+        assert solver.solve() == reference
+        assert solver.stats.verify is not None
+        assert solver.stats.verify.intern_checks >= 1
+
+
 class TestMetamorphic:
     @given(st.integers(0, 5_000))
     @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
