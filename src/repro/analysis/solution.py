@@ -163,21 +163,56 @@ class PointsToSolution:
                 result[var] = {"only_self": mine - theirs, "only_other": theirs - mine}
         return result
 
-    def expand(self, var_to_rep: Sequence[int]) -> "PointsToSolution":
-        """Undo an offline variable substitution.
+    def expand(
+        self,
+        var_to_rep: Sequence[int],
+        loc_members: Optional[Mapping[int, Sequence[int]]] = None,
+    ) -> "PointsToSolution":
+        """Undo an offline substitution.
 
         ``var_to_rep[v]`` names the representative that carried ``v``'s
         solution during solving; each variable receives its
         representative's set.
+
+        ``loc_members`` additionally undoes *location* merging: it maps
+        each merged location representative to the full class of original
+        locations it stood for inside points-to sets, so every occurrence
+        of the representative expands back into its members.  Location
+        classes are disjoint, so expansion preserves set intersection —
+        :meth:`intersects` through a native backing stays valid.
         """
         if len(var_to_rep) != self._num_vars:
             raise ValueError("substitution map length != variable count")
-        expanded = {
-            var: self._points_to.get(var_to_rep[var], frozenset())
-            for var in range(self._num_vars)
-        }
+        expanded: Dict[int, FrozenSet[int]]
+        if loc_members:
+            # Expand each distinct representative set once, then fan the
+            # result out to every variable in the class.
+            expanded_rep: Dict[int, FrozenSet[int]] = {}
+            for rep, compressed in self._points_to.items():
+                if compressed.isdisjoint(loc_members):
+                    expanded_rep[rep] = compressed
+                    continue
+                full = set(compressed)
+                for loc in compressed:
+                    members = loc_members.get(loc)
+                    if members is not None:
+                        full.update(members)
+                expanded_rep[rep] = frozenset(full)
+            expanded = {
+                var: expanded_rep.get(var_to_rep[var], frozenset())
+                for var in range(self._num_vars)
+            }
+        else:
+            expanded = {
+                var: self._points_to.get(var_to_rep[var], frozenset())
+                for var in range(self._num_vars)
+            }
         backing: Optional[Dict[int, "PointsToSet"]] = None
         if self._backing is not None:
+            # Native sets keep compressed contents, which stays sound for
+            # intersects(): compressed sets hold only class representatives
+            # and classes are disjoint, so two expanded sets share a
+            # location exactly when the compressed ones do.
             backing = {}
             for var in range(self._num_vars):
                 native = self._backing.get(var_to_rep[var])

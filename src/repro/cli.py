@@ -5,7 +5,7 @@ solutions and statistics out.
 
 ::
 
-    python -m repro solve FILE [--algorithm lcd+hcd] [--pts bitmap] [--ovs] [--workers N]
+    python -m repro solve FILE [--algorithm lcd+hcd] [--pts bitmap] [--opt hu] [--workers N]
     python -m repro analyze FILE.c [--query main::p ...] [--callgraph]
     python -m repro check FILE.c [--checker null-deref ...] [--format text|sarif|json]
     python -m repro generate BENCHMARK [--scale 128] [--seed 1] [-o FILE]
@@ -25,8 +25,9 @@ from repro.analysis.callgraph import build_call_graph
 from repro.constraints.parser import read_constraints, write_constraints
 from repro.frontend.generator import generate_constraints
 from repro.metrics.memory import to_megabytes
-from repro.metrics.reporting import Table
+from repro.metrics.reporting import Table, format_opt_summary
 from repro.points_to.interface import FAMILY_KINDS
+from repro.preprocess.hvn import OPT_STAGES, preprocess_system
 from repro.preprocess.ovs import offline_variable_substitution
 from repro.solvers.registry import available_solvers, make_solver
 from repro.verify.sanitizer import InvariantViolation
@@ -40,18 +41,12 @@ def _read_system(path: str):
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     system = _read_system(args.file)
-    target = system
-    ovs = None
-    if args.ovs:
-        ovs = offline_variable_substitution(system)
-        target = ovs.reduced
+    opt = "ovs" if args.ovs else args.opt
     solver = make_solver(
-        target, args.algorithm, pts=args.pts, workers=args.workers,
-        sanitize=args.sanitize,
+        system, args.algorithm, pts=args.pts, workers=args.workers,
+        sanitize=args.sanitize, opt=opt,
     )
     solution = solver.solve()
-    if ovs is not None:
-        solution = ovs.expand(solution)
 
     if args.json:
         from repro.analysis.export import solution_to_json
@@ -71,6 +66,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print()
         for key, value in solver.stats.as_dict().items():
             print(f"  {key}: {value}")
+        summary = format_opt_summary(solver.stats.as_dict())
+        if summary:
+            print(f"  [{summary}]")
     print(
         f"\n{solver.full_name}: {shown} pointers, "
         f"{solution.total_size()} points-to facts, "
@@ -85,7 +83,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         source = handle.read()
     program = generate_constraints(source, field_mode=args.field_mode)
     system = program.system
-    solver = make_solver(system, args.algorithm, pts=args.pts)
+    solver = make_solver(system, args.algorithm, pts=args.pts, opt=args.opt)
     solution = solver.solve()
 
     if args.query:
@@ -138,7 +136,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from repro.checkers import Severity, run_checkers, to_sarif
 
     system, program = _load_checkable(args.file, args.field_mode)
-    solver = make_solver(system, args.solver, pts=args.pts)
+    solver = make_solver(system, args.solver, pts=args.pts, opt=args.opt)
     solution = solver.solve()
     report = run_checkers(
         system,
@@ -212,7 +210,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     for algorithm in algorithms:
         solver = make_solver(
             system, algorithm.strip(), pts=args.pts, workers=args.workers,
-            sanitize=args.sanitize,
+            sanitize=args.sanitize, opt=args.opt,
         )
         solution = solver.solve()
         if reference is None:
@@ -254,7 +252,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         for family in families:
             solver = make_solver(
                 system, algorithm, pts=family, workers=args.workers,
-                sanitize=args.sanitize,
+                sanitize=args.sanitize, opt=args.opt,
             )
             solution = solver.solve()
             report = certify(system, solution)
@@ -289,12 +287,12 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
     if args.check == "certify":
         predicate = certifier_rejects(
             args.algorithm, pts=args.pts, workers=args.workers,
-            sanitize=args.sanitize,
+            sanitize=args.sanitize, opt=args.opt,
         )
     else:
         predicate = solvers_disagree(
             args.algorithm, args.against, pts_a=args.pts, pts_b=args.pts,
-            workers=args.workers,
+            workers=args.workers, opt=args.opt,
         )
     result = minimize_system(system, predicate)
     if args.output:
@@ -338,6 +336,15 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         f"({ovs.reduction_ratio:.0%} reduction, "
         f"{ovs.merged_count()} variables substituted)"
     )
+    for stage in ("hvn", "hu"):
+        pre = preprocess_system(system, stage)
+        print(
+            f"{stage.upper()}: {len(system)} -> {len(pre.reduced)} constraints "
+            f"({pre.reduction_ratio:.0%} reduction, "
+            f"{pre.merged_count()} variables substituted, "
+            f"{pre.locations_merged()} locations merged, "
+            f"{pre.passes} passes)"
+        )
     return 0
 
 
@@ -363,6 +370,17 @@ def build_parser() -> argparse.ArgumentParser:
             "per-variable BDDs, or bignum intsets (fused word-parallel "
             "kernel)",
         )
+        p.add_argument(
+            "--opt",
+            default="hu",
+            choices=list(OPT_STAGES),
+            help="offline optimization stage run before solving: raw "
+            "constraints (none), Rountev-style variable substitution "
+            "(ovs), hash-based value numbering (hvn), or the "
+            "union-tracking extension with location equivalence (hu, "
+            "the default); solutions are expanded back to the original "
+            "variable space, so results are identical across stages",
+        )
 
     p_solve = sub.add_parser("solve", help="solve a constraint file")
     p_solve.add_argument("file")
@@ -372,7 +390,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for parallel solvers (wave-par); "
         "results are identical at any count",
     )
-    p_solve.add_argument("--ovs", action="store_true", help="pre-process with OVS")
+    p_solve.add_argument(
+        "--ovs", action="store_true",
+        help="deprecated alias for --opt ovs (overrides --opt)",
+    )
     p_solve.add_argument(
         "--sanitize", action="store_true",
         help="install solver invariant checks (collapse consistency, "
@@ -420,6 +441,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="bitmap",
         choices=list(FAMILY_KINDS),
         help="points-to representation (alias queries use its native AND)",
+    )
+    p_check.add_argument(
+        "--opt",
+        default="hu",
+        choices=list(OPT_STAGES),
+        help="offline optimization stage run before solving (results "
+        "are identical across stages)",
     )
     p_check.add_argument(
         "--checker",
@@ -470,6 +498,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="points-to representation (bitmap, shared, bdd, or int)",
     )
     p_compare.add_argument(
+        "--opt",
+        default="hu",
+        choices=list(OPT_STAGES),
+        help="offline optimization stage run before every solve",
+    )
+    p_compare.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for parallel solvers (wave-par)",
     )
@@ -495,6 +529,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="bitmap",
         choices=list(FAMILY_KINDS) + ["all"],
         help="points-to representation, or 'all' for every family",
+    )
+    p_verify.add_argument(
+        "--opt",
+        default="hu",
+        choices=list(OPT_STAGES),
+        help="offline optimization stage run before solving; the "
+        "certifier checks the expanded solution against the *original* "
+        "constraints, so certification covers the substitution map too",
     )
     p_verify.add_argument(
         "--workers", type=int, default=1,
@@ -533,6 +575,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="bitmap",
         choices=list(FAMILY_KINDS),
         help="points-to representation used while replaying",
+    )
+    p_reduce.add_argument(
+        "--opt",
+        default="none",
+        choices=list(OPT_STAGES),
+        help="offline optimization stage applied while replaying the "
+        "predicate (default none: repros replay the raw failure)",
     )
     p_reduce.add_argument(
         "--workers", type=int, default=1,

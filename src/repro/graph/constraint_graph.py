@@ -147,6 +147,18 @@ class ConstraintGraph:
         """Number of stored (possibly stale) edges across representatives."""
         return sum(len(self.succ[node]) for node in self.rep_nodes())
 
+    def live_node_count(self) -> int:
+        """Distinct representatives the constraints actually mention —
+        the node count the offline pipeline (``--opt``) is shrinking;
+        ``num_vars`` stays fixed because substituted variables keep their
+        ids for solution re-expansion."""
+        find = self.uf.find
+        live = set()
+        for constraint in self.system.constraints:
+            live.add(find(constraint.dst))
+            live.add(find(constraint.src))
+        return len(live)
+
     # ------------------------------------------------------------------
     # Points-to
     # ------------------------------------------------------------------

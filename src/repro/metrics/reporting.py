@@ -8,9 +8,26 @@ external dependencies: output is monospace-aligned text.
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Union
+from typing import List, Mapping, Sequence, Union
 
 Cell = Union[str, int, float, None]
+
+
+def format_opt_summary(stats: Mapping[str, object]) -> str:
+    """One-line rendering of the ``opt_*`` counters in a stats dict.
+
+    Returns the empty string when the run had no offline stage, so
+    callers can print the result unconditionally-if-truthy.
+    """
+    if "opt_stage" not in stats:
+        return ""
+    seconds = float(stats.get("opt_offline_seconds", 0.0))
+    return (
+        f"{stats['opt_stage']}: {stats['opt_vars_merged']} vars merged, "
+        f"{stats['opt_locations_merged']} locations merged, "
+        f"{stats['opt_constraints_deleted']} constraints deleted, "
+        f"{stats['opt_passes']} passes, {seconds:.3f}s offline"
+    )
 
 
 def format_seconds(value: float) -> str:

@@ -24,7 +24,36 @@ from repro.datastructs.sparse_bitmap import SparseBitmap
 from repro.graph.constraint_graph import ConstraintGraph
 from repro.points_to.interface import PointsToFamily, make_family
 from repro.preprocess.hcd_offline import HCDOfflineResult, hcd_offline_analysis
+from repro.preprocess.hvn import PreprocessResult, preprocess_system
 from repro.verify.sanitizer import Sanitizer, VerifyStats
+
+
+@dataclass
+class OptStats:
+    """Counters for the offline optimization stage (``--opt``).
+
+    ``vars_merged`` counts variables substituted by a pointer-equivalent
+    representative, ``locations_merged`` the locations folded into a
+    location-equivalence class; both are undone at export time through
+    the stage's substitution map, so they are pure node-count savings.
+    """
+
+    stage: str = "none"
+    passes: int = 0
+    vars_merged: int = 0
+    locations_merged: int = 0
+    constraints_deleted: int = 0
+    offline_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "stage": self.stage,
+            "passes": self.passes,
+            "vars_merged": self.vars_merged,
+            "locations_merged": self.locations_merged,
+            "constraints_deleted": self.constraints_deleted,
+            "offline_seconds": self.offline_seconds,
+        }
 
 
 @dataclass
@@ -78,6 +107,8 @@ class SolverStats:
     intern: Optional[InternStats] = None
     #: Filled in by runs with the invariant sanitizer installed.
     verify: Optional[VerifyStats] = None
+    #: Filled in by runs with an offline optimization stage (--opt).
+    opt: Optional[OptStats] = None
 
     @property
     def total_memory_bytes(self) -> int:
@@ -107,6 +138,9 @@ class SolverStats:
         if self.verify is not None:
             for key, value in self.verify.as_dict().items():
                 data[f"verify_{key}"] = value
+        if self.opt is not None:
+            for key, value in self.opt.as_dict().items():
+                data[f"opt_{key}"] = value
         return data
 
 
@@ -122,11 +156,32 @@ class BaseSolver:
         pts: str = "bitmap",
         hcd: bool = False,
         sanitize: bool = False,
+        opt: str = "none",
     ) -> None:
+        #: The system as handed in — solutions are always exported in its
+        #: variable space, whatever ``opt`` did to the constraints.
+        self.original_system = system
+        self.opt = opt
+        self.preprocess: Optional[PreprocessResult] = None
+        self.stats = SolverStats()
+        if opt != "none":
+            # The offline pipeline stage runs before *everything* —
+            # including HCD's offline pass, which should analyze the
+            # constraints the solver will actually see.
+            pre = preprocess_system(system, opt)
+            self.preprocess = pre
+            system = pre.reduced
+            self.stats.opt = OptStats(
+                stage=pre.stage,
+                passes=pre.passes,
+                vars_merged=pre.merged_count(),
+                locations_merged=pre.locations_merged(),
+                constraints_deleted=pre.constraints_deleted(),
+                offline_seconds=pre.offline_seconds,
+            )
         self.system = system
         self.pts_kind = pts
         self.hcd_enabled = hcd
-        self.stats = SolverStats()
         #: Invariant checks at collapse/propagate boundaries (--sanitize).
         self.sanitizer: Optional[Sanitizer] = Sanitizer(self) if sanitize else None
         self._solution: Optional[PointsToSolution] = None
@@ -136,10 +191,18 @@ class BaseSolver:
             self.stats.hcd_offline_seconds = self.hcd_offline.offline_seconds
 
     def solve(self) -> PointsToSolution:
-        """Run the analysis (idempotent) and return the solution."""
+        """Run the analysis (idempotent) and return the solution.
+
+        When an offline stage substituted variables away, the reduced
+        solution is expanded back to the original variable space here —
+        every subclass and every consumer sees original-space solutions.
+        """
         if self._solution is None:
             start = time.perf_counter()
-            self._solution = self._run()
+            solution = self._run()
+            if self.preprocess is not None:
+                solution = self.preprocess.expand(solution)
+            self._solution = solution
             self.stats.solve_seconds = time.perf_counter() - start
             if self.sanitizer is not None:
                 self.sanitizer.final_check()
@@ -174,8 +237,10 @@ class GraphSolver(BaseSolver):
         worklist: str = "divided-lrf",
         difference_propagation: bool = False,
         sanitize: bool = False,
+        opt: str = "none",
     ) -> None:
-        super().__init__(system, pts=pts, hcd=hcd, sanitize=sanitize)
+        super().__init__(system, pts=pts, hcd=hcd, sanitize=sanitize, opt=opt)
+        system = self.system  # the (possibly) offline-reduced system
         self.worklist_strategy = worklist
         #: Difference propagation (Pearce, Kelly & Hankin, SCAM 2003):
         #: offer successors only the pointees they have not seen, except

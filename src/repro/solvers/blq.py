@@ -48,8 +48,10 @@ class BLQSolver(BaseSolver):
         worklist: str = "divided-lrf",  # accepted for interface parity; unused
         interleave: bool = True,
         sanitize: bool = False,
+        opt: str = "none",
     ) -> None:
-        super().__init__(system, pts=pts, hcd=hcd, sanitize=sanitize)
+        super().__init__(system, pts=pts, hcd=hcd, sanitize=sanitize, opt=opt)
+        system = self.system  # the (possibly) offline-reduced system
         n = max(system.num_vars, 1)
         self._alloc = DomainAllocator(
             [("src", n), ("dst", n), ("obj", n)], interleave=interleave

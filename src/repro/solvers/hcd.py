@@ -31,6 +31,7 @@ class HCDSolver(NaiveSolver):
         worklist: str = "divided-lrf",
         difference_propagation: bool = False,
         sanitize: bool = False,
+        opt: str = "none",
     ) -> None:
         # HCD *is* the algorithm here; it cannot be switched off.
         super().__init__(
@@ -40,6 +41,7 @@ class HCDSolver(NaiveSolver):
             worklist=worklist,
             difference_propagation=difference_propagation,
             sanitize=sanitize,
+            opt=opt,
         )
 
     @property

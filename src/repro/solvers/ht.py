@@ -44,8 +44,10 @@ class HTSolver(BaseSolver):
         hcd: bool = False,
         worklist: str = "divided-lrf",  # accepted for interface parity; unused
         sanitize: bool = False,
+        opt: str = "none",
     ) -> None:
-        super().__init__(system, pts=pts, hcd=hcd, sanitize=sanitize)
+        super().__init__(system, pts=pts, hcd=hcd, sanitize=sanitize, opt=opt)
+        system = self.system  # the (possibly) offline-reduced system
         self.family = make_family(pts, system.num_vars)
         n = system.num_vars
         self.uf = UnionFind(n)

@@ -45,6 +45,7 @@ class PKH03Solver(GraphSolver):
         worklist: str = "divided-lrf",
         difference_propagation: bool = False,
         sanitize: bool = False,
+        opt: str = "none",
     ) -> None:
         super().__init__(
             system,
@@ -53,7 +54,9 @@ class PKH03Solver(GraphSolver):
             worklist=worklist,
             difference_propagation=difference_propagation,
             sanitize=sanitize,
+            opt=opt,
         )
+        system = self.system  # the (possibly) offline-reduced system
         self.topo = DynamicTopologicalOrder(system.num_vars)
         #: preds mirror of the successor sets, for the backward searches.
         self.preds: List[SparseBitmap] = [

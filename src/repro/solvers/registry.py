@@ -94,13 +94,17 @@ def make_solver(
     worklist: str = "divided-lrf",
     workers: int = 1,
     sanitize: bool = False,
+    opt: str = "none",
 ) -> BaseSolver:
     """Instantiate a solver by name (without running it).
 
     ``workers`` sizes the worker pool of solvers that support one
     (currently ``wave-par``); other solvers ignore it.  ``sanitize``
     installs the :mod:`repro.verify.sanitizer` invariant checks at the
-    solver's collapse/propagate boundaries.
+    solver's collapse/propagate boundaries.  ``opt`` selects the offline
+    optimization stage (:data:`repro.preprocess.hvn.OPT_STAGES`) run on
+    the constraints before solving; solutions are transparently expanded
+    back to the original variable space.
     """
     name = algorithm.lower().strip()
     hcd = False
@@ -119,7 +123,8 @@ def make_solver(
     if issubclass(solver_cls, WaveParallelSolver):
         extra["workers"] = workers
     return solver_cls(
-        system, pts=pts, hcd=hcd, worklist=worklist, sanitize=sanitize, **extra
+        system, pts=pts, hcd=hcd, worklist=worklist, sanitize=sanitize,
+        opt=opt, **extra
     )
 
 
@@ -130,9 +135,10 @@ def solve(
     worklist: str = "divided-lrf",
     workers: int = 1,
     sanitize: bool = False,
+    opt: str = "none",
 ) -> PointsToSolution:
     """One-call API: build the named solver and return its solution."""
     return make_solver(
         system, algorithm, pts=pts, worklist=worklist, workers=workers,
-        sanitize=sanitize,
+        sanitize=sanitize, opt=opt,
     ).solve()

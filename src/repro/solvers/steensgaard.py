@@ -53,7 +53,11 @@ class SteensgaardSolver(BaseSolver):
         hcd: bool = False,  # HCD is meaningless under unification
         worklist: str = "divided-lrf",  # unused
         sanitize: bool = False,
+        opt: str = "none",  # accepted for interface parity; always "none"
     ) -> None:
+        # HVN/HU merges are proven against the *inclusion-based* least
+        # model; unification-based analysis computes a different relation,
+        # so the substitution contract does not apply — run unoptimized.
         super().__init__(system, pts=pts, hcd=False, sanitize=sanitize)
         n = system.num_vars
         self.uf = UnionFind(n)

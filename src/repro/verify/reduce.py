@@ -173,6 +173,7 @@ def certifier_rejects(
     pts: str = "bitmap",
     workers: int = 1,
     sanitize: bool = False,
+    opt: str = "none",
 ) -> Predicate:
     """Predicate: the certifier rejects ``algorithm``'s solution (or the
     sanitizer aborts the run with an :class:`InvariantViolation`)."""
@@ -182,7 +183,8 @@ def certifier_rejects(
 
     def predicate(system: ConstraintSystem) -> bool:
         solver = make_solver(
-            system, algorithm, pts=pts, workers=workers, sanitize=sanitize
+            system, algorithm, pts=pts, workers=workers, sanitize=sanitize,
+            opt=opt,
         )
         try:
             solution = solver.solve()
@@ -199,13 +201,14 @@ def solvers_disagree(
     pts_a: str = "bitmap",
     pts_b: str = "bitmap",
     workers: int = 1,
+    opt: str = "none",
 ) -> Predicate:
     """Predicate: two solver configurations produce different solutions."""
     from repro.solvers.registry import solve
 
     def predicate(system: ConstraintSystem) -> bool:
-        first = solve(system, algorithm_a, pts=pts_a, workers=workers)
-        second = solve(system, algorithm_b, pts=pts_b, workers=workers)
+        first = solve(system, algorithm_a, pts=pts_a, workers=workers, opt=opt)
+        second = solve(system, algorithm_b, pts=pts_b, workers=workers, opt=opt)
         return first != second
 
     return predicate

@@ -10,10 +10,15 @@ from hypothesis import strategies as st
 from repro.constraints.builder import ConstraintBuilder
 from repro.constraints.model import ConstraintSystem
 from repro.points_to.interface import FAMILY_KINDS
+from repro.preprocess.hvn import OPT_STAGES
 
 #: Draw one of the registered points-to representations, so differential
 #: tests cover bitmap, shared (hash-consed), and BDD sets uniformly.
 pts_families = st.sampled_from(FAMILY_KINDS)
+
+#: Draw one of the offline optimization stages (--opt), so differential
+#: tests cover the none/ovs/hvn/hu pipeline uniformly.
+opt_stages = st.sampled_from(OPT_STAGES)
 
 
 @st.composite

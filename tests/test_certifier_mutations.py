@@ -159,6 +159,49 @@ class TestCertifierCatchesMutants:
         report = certify(system, mutant_solution)
         assert not report.precise
 
+    def test_bad_offline_variable_merge_is_caught(self):
+        # Seeds the classic HVN failure mode: the offline stage merges
+        # two variables that are *not* pointer-equivalent, so after
+        # expansion one of them reports the other's points-to set.  The
+        # certifier checks the expanded solution against the original
+        # constraints, so the missing fact surfaces as unsoundness.
+        b = ConstraintBuilder()
+        p, q, x, y, u = (b.var(n) for n in "pqxyu")
+        b.address_of(p, x)
+        b.address_of(q, y)
+        b.assign(u, q)
+        system = b.build()
+        solver = make_solver(system, "lcd+hcd", opt="hu")
+        sub = solver.preprocess.substitution
+        assert sub.var_to_rep[q] != sub.var_to_rep[p]  # lattice got it right
+        sub.var_to_rep[q] = sub.var_to_rep[p]  # plant the bad merge
+        report = certify(system, solver.solve())
+        assert not report.ok
+        assert not report.sound
+
+    def test_bad_offline_location_merge_is_caught(self):
+        # The location-equivalence analogue: folding two locations that
+        # do not co-occur makes expansion inflate every set holding the
+        # representative — spurious facts the least model lacks.
+        b = ConstraintBuilder()
+        p, q, x, y = (b.var(n) for n in "pqxy")
+        b.address_of(p, x)
+        b.address_of(q, y)
+        system = b.build()
+        solver = make_solver(system, "lcd+hcd", opt="hu")
+        sub = solver.preprocess.substitution
+        assert not sub.loc_members  # the lattice did not merge x with y
+        sub.loc_members[x] = (x, y)
+        report = certify(system, solver.solve())
+        assert not report.ok
+        assert not report.precise
+
+    def test_optimized_solver_certifies(self, simple_system):
+        # Control: unmutated optimized runs are accepted for every stage.
+        for opt in ("ovs", "hvn", "hu"):
+            solver = make_solver(simple_system, "lcd+hcd", opt=opt)
+            assert certify(simple_system, solver.solve()).ok, opt
+
     def test_unmutated_solver_certifies(self, simple_system):
         # Control: the same checks accept the correct base solver.
         assert certify(simple_system, NaiveSolver(simple_system).solve()).ok

@@ -96,6 +96,26 @@ class TestSolve:
         assert code == 0
         assert "intern_live_nodes" in out
 
+    def test_opt_stages_identical_output(self, constraint_file, capsys):
+        _, none_out, _ = run_cli(
+            ["solve", constraint_file, "--opt", "none"], capsys
+        )
+        for stage in ("ovs", "hvn", "hu"):
+            code, out, _ = run_cli(
+                ["solve", constraint_file, "--opt", stage], capsys
+            )
+            assert code == 0
+            assert out == none_out, stage
+
+    def test_opt_stats_summary(self, constraint_file, capsys):
+        code, out, _ = run_cli(
+            ["solve", constraint_file, "--opt", "hu", "--stats"], capsys
+        )
+        assert code == 0
+        assert "opt_stage: hu" in out
+        assert "opt_vars_merged" in out
+        assert "[hu:" in out  # the human-readable offline summary line
+
     def test_parallel_workers(self, constraint_file, capsys):
         code, out, _ = run_cli(
             ["solve", constraint_file, "--algorithm", "wave-par",
@@ -171,6 +191,18 @@ class TestCompareAndStats:
         assert code == 0
         assert "variables:" in out
         assert "OVS:" in out
+        assert "HVN:" in out
+        assert "HU:" in out
+
+    def test_verify_accepts_optimized_run(self, constraint_file, capsys):
+        code, out, _ = run_cli(
+            ["verify", constraint_file, "--algorithms", "lcd+hcd",
+             "--pts", "int", "--opt", "hu", "--sanitize"],
+            capsys,
+        )
+        assert code == 0
+        assert "ACCEPT" in out
+        assert "REJECT" not in out
 
 
 class TestParser:

@@ -13,10 +13,11 @@ from hypothesis import strategies as st
 
 from conftest import random_system
 from repro.points_to.interface import FAMILY_KINDS
+from repro.preprocess.hvn import OPT_STAGES
 from repro.preprocess.ovs import offline_variable_substitution
 from repro.solvers.registry import available_solvers, solve
 from repro.workloads import generate_workload
-from strategies import constraint_systems, pts_families
+from strategies import constraint_systems, opt_stages, pts_families
 
 ALGORITHMS = available_solvers()
 GRAPH_ALGORITHMS = [a for a in ALGORITHMS if not a.startswith("blq")]
@@ -326,3 +327,79 @@ class TestWorkloadAgreement:
     def test_blq_on_workload(self):
         system = generate_workload("emacs", scale=1 / 512, seed=2)
         assert solve(system, "blq") == solve(system, "naive")
+
+class TestOptStages:
+    """The offline pipeline (--opt) must be invisible in the results:
+    every stage, under every algorithm and family, yields the exact
+    solution of the unoptimized system after expansion."""
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("stage", OPT_STAGES)
+    def test_every_solver_every_stage(
+        self, simple_system, cycle_system, algorithm, stage
+    ):
+        for system in (simple_system, cycle_system):
+            assert solve(system, algorithm, opt=stage) == solve(
+                system, "naive"
+            ), (algorithm, stage)
+
+    @pytest.mark.parametrize("name", ["emacs", "wine", "linux"])
+    def test_workloads_bit_identical(self, name):
+        system = generate_workload(name, scale=1 / 512, seed=2)
+        reference = solve(system, "naive", opt="none")
+        for stage in ("ovs", "hvn", "hu"):
+            for algorithm in ("lcd", "hcd", "lcd+hcd", "ht", "pkh", "wave"):
+                assert (
+                    solve(system, algorithm, opt=stage) == reference
+                ), (name, algorithm, stage)
+            for workers in (1, 2):
+                assert (
+                    solve(system, "wave-par", opt=stage, workers=workers)
+                    == reference
+                ), (name, stage, workers)
+
+    @pytest.mark.parametrize("pts", list(FAMILY_KINDS))
+    def test_all_families_under_hu(self, simple_system, pts):
+        assert solve(simple_system, "lcd+hcd", pts=pts, opt="hu") == solve(
+            simple_system, "naive"
+        )
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_random_systems_agree(self, seed):
+        system = random_system(seed)
+        reference = solve(system, "naive")
+        for stage in ("hvn", "hu"):
+            for algorithm in ("naive", "lcd+hcd", "ht+hcd", "pkh+hcd", "wave"):
+                result = solve(system, algorithm, opt=stage)
+                assert result == reference, (
+                    algorithm, stage, result.diff(reference),
+                )
+
+    @given(system=constraint_systems(), stage=opt_stages, pts=pts_families)
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_generated_systems_stage_family_grid(self, system, stage, pts):
+        """Hypothesis-shrinkable differential over stages x families."""
+        assert solve(system, "lcd+hcd", pts=pts, opt=stage) == solve(
+            system, "naive"
+        )
+
+    def test_opt_stats_populated(self):
+        from repro.solvers.registry import make_solver
+
+        system = generate_workload("emacs", scale=1 / 512, seed=2)
+        solver = make_solver(system, "lcd+hcd", opt="hu")
+        solver.solve()
+        stats = solver.stats
+        assert stats.opt is not None
+        assert stats.opt.stage == "hu"
+        assert stats.opt.vars_merged > 0
+        assert stats.opt.constraints_deleted > 0
+        assert stats.opt.passes >= 1
+        data = stats.as_dict()
+        assert data["opt_stage"] == "hu"
+        assert data["opt_vars_merged"] == stats.opt.vars_merged
+        # Unoptimized runs carry no opt_* keys at all.
+        plain = make_solver(system, "lcd+hcd")
+        plain.solve()
+        assert "opt_stage" not in plain.stats.as_dict()
