@@ -177,14 +177,16 @@ class CheckContext:
     def is_call_site(self, site: DerefSite) -> bool:
         """Whether an offset dereference is a desugared indirect call.
 
-        Provenance makes this exact (``IndirectCall`` constructs); for
-        provenance-free inputs, fall back to "some pointee is a
-        function" — the heuristic the call-graph client also implies.
+        Provenance makes this exact: ``IndirectCall`` constructs, or any
+        positive call-site id — the builder only stamps site ids on the
+        constraints a call desugars into.  For provenance-free inputs,
+        fall back to "some pointee is a function" — the heuristic the
+        call-graph client also implies.
         """
         if site.offset == 0:
             return False
         if site.prov is not None:
-            return site.prov.construct == "IndirectCall"
+            return site.prov.construct == "IndirectCall" or bool(site.prov.site)
         return any(loc in self.functions for loc in self.pts(site.pointer))
 
     def address_taken_prov(self, loc: int) -> Optional[Provenance]:

@@ -5,27 +5,37 @@ solutions and statistics out.
 
 ::
 
-    python -m repro solve FILE [--algorithm lcd+hcd] [--pts bitmap] [--opt hu] [--workers N]
+    python -m repro solve FILE [--algorithm lcd+hcd] [--pts bitmap] [--opt hu] [--k-cs 1] [--workers N]
     python -m repro analyze FILE.c [--query main::p ...] [--callgraph]
     python -m repro check FILE.c [--checker null-deref ...] [--format text|sarif|json]
     python -m repro generate BENCHMARK [--scale 128] [--seed 1] [-o FILE]
     python -m repro compare FILE [--algorithms ht,pkh,lcd+hcd]
-    python -m repro verify FILE [--algorithms all] [--pts all] [--sanitize]
+    python -m repro verify FILE [--algorithms all] [--pts all] [--k-cs 1] [--sanitize]
     python -m repro reduce FILE --check certify|disagree [-o OUT.cons]
     python -m repro stats FILE
+
+``--opt`` and ``--k-cs`` use ``None``-sentinel defaults so a
+``# repro-config:`` header written by ``repro reduce`` can replay the
+recorded failure configuration unless the user overrides it explicitly.
 """
 
 from __future__ import annotations
 
 import argparse
+import io
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.callgraph import build_call_graph
-from repro.constraints.parser import read_constraints, write_constraints
+from repro.constraints.parser import (
+    parse_repro_header,
+    read_constraints,
+    write_constraints,
+)
+from repro.contexts import K_LEVELS
 from repro.frontend.generator import generate_constraints
 from repro.metrics.memory import to_megabytes
-from repro.metrics.reporting import Table, format_opt_summary
+from repro.metrics.reporting import Table, format_ctx_summary, format_opt_summary
 from repro.points_to.interface import FAMILY_KINDS
 from repro.preprocess.hvn import OPT_STAGES, preprocess_system
 from repro.preprocess.ovs import offline_variable_substitution
@@ -39,12 +49,61 @@ def _read_system(path: str):
         return read_constraints(handle)
 
 
+def _read_system_and_header(path: str) -> Tuple[object, Dict[str, str]]:
+    """Load a constraint file plus its repro-config header (``{}`` if none)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return read_constraints(io.StringIO(text)), parse_repro_header(text)
+
+
+def _resolve_replay_flags(
+    args: argparse.Namespace,
+    default_opt: str,
+    header: Optional[Dict[str, str]] = None,
+    path: str = "",
+) -> None:
+    """Fill in the ``--opt`` / ``--k-cs`` sentinels on ``args``.
+
+    A value the user passed explicitly always wins; otherwise a repro
+    header's recorded value is adopted (with a stderr note, so replays
+    are never silent); otherwise the command's built-in default applies.
+    """
+    header = header or {}
+    adopted = []
+    if args.opt is None:
+        if "opt" in header:
+            if header["opt"] not in OPT_STAGES:
+                raise ValueError(
+                    f"repro header records unknown opt stage {header['opt']!r}"
+                )
+            args.opt = header["opt"]
+            adopted.append(f"--opt {args.opt}")
+        else:
+            args.opt = default_opt
+    if args.k_cs is None:
+        if "k-cs" in header:
+            k = int(header["k-cs"])
+            if k not in K_LEVELS:
+                raise ValueError(f"repro header records unknown k-cs level {k}")
+            args.k_cs = k
+            adopted.append(f"--k-cs {k}")
+        else:
+            args.k_cs = 0
+    if adopted:
+        print(
+            f"replaying {' '.join(adopted)} from the repro-config header"
+            + (f" of {path}" if path else ""),
+            file=sys.stderr,
+        )
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
-    system = _read_system(args.file)
+    system, header = _read_system_and_header(args.file)
+    _resolve_replay_flags(args, "hu", header, args.file)
     opt = "ovs" if args.ovs else args.opt
     solver = make_solver(
         system, args.algorithm, pts=args.pts, workers=args.workers,
-        sanitize=args.sanitize, opt=opt,
+        sanitize=args.sanitize, opt=opt, k_cs=args.k_cs,
     )
     solution = solver.solve()
 
@@ -66,9 +125,13 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print()
         for key, value in solver.stats.as_dict().items():
             print(f"  {key}: {value}")
-        summary = format_opt_summary(solver.stats.as_dict())
-        if summary:
-            print(f"  [{summary}]")
+        stats_dict = solver.stats.as_dict()
+        for summary in (
+            format_opt_summary(stats_dict),
+            format_ctx_summary(stats_dict),
+        ):
+            if summary:
+                print(f"  [{summary}]")
     print(
         f"\n{solver.full_name}: {shown} pointers, "
         f"{solution.total_size()} points-to facts, "
@@ -83,7 +146,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         source = handle.read()
     program = generate_constraints(source, field_mode=args.field_mode)
     system = program.system
-    solver = make_solver(system, args.algorithm, pts=args.pts, opt=args.opt)
+    _resolve_replay_flags(args, "hu")
+    solver = make_solver(
+        system, args.algorithm, pts=args.pts, opt=args.opt, k_cs=args.k_cs
+    )
     solution = solver.solve()
 
     if args.query:
@@ -119,15 +185,18 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _load_checkable(path: str, field_mode: str):
     """Load ``path`` as a front-end program (``.c``) or constraint file.
 
-    Returns ``(system, program_or_None)`` — checkers degrade gracefully
-    on bare constraint systems (minimized repros, generated workloads).
+    Returns ``(system, program_or_None, header)`` — checkers degrade
+    gracefully on bare constraint systems (minimized repros, generated
+    workloads); ``header`` is the repro-config mapping of a ``.cons``
+    input (``{}`` otherwise).
     """
     if path.endswith(".cons"):
-        return _read_system(path), None
+        system, header = _read_system_and_header(path)
+        return system, None, header
     with open(path, "r", encoding="utf-8") as handle:
         source = handle.read()
     program = generate_constraints(source, field_mode=field_mode)
-    return program.system, program
+    return program.system, program, {}
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -135,8 +204,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
     from repro.checkers import Severity, run_checkers, to_sarif
 
-    system, program = _load_checkable(args.file, args.field_mode)
-    solver = make_solver(system, args.solver, pts=args.pts, opt=args.opt)
+    system, program, header = _load_checkable(args.file, args.field_mode)
+    _resolve_replay_flags(args, "hu", header, args.file)
+    solver = make_solver(
+        system, args.solver, pts=args.pts, opt=args.opt, k_cs=args.k_cs
+    )
     solution = solver.solve()
     report = run_checkers(
         system,
@@ -197,7 +269,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    system = _read_system(args.file)
+    system, header = _read_system_and_header(args.file)
+    _resolve_replay_flags(args, "hu", header, args.file)
     algorithms = args.algorithms.split(",") if args.algorithms else [
         "ht", "pkh", "lcd", "hcd", "lcd+hcd",
     ]
@@ -207,10 +280,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
          "collapsed", "memory (MB)"],
     )
     reference = None
+    ctx_summary = ""
     for algorithm in algorithms:
         solver = make_solver(
             system, algorithm.strip(), pts=args.pts, workers=args.workers,
-            sanitize=args.sanitize, opt=args.opt,
+            sanitize=args.sanitize, opt=args.opt, k_cs=args.k_cs,
         )
         solution = solver.solve()
         if reference is None:
@@ -228,14 +302,20 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 to_megabytes(solver.stats.total_memory_bytes),
             ]
         )
+        # The expansion is deterministic (and cached), so one line
+        # describes every run in the table.
+        ctx_summary = format_ctx_summary(solver.stats.as_dict())
     print(table.render())
+    if ctx_summary:
+        print(f"[{ctx_summary}]")
     return 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.verify.certifier import certify
 
-    system = _read_system(args.file)
+    system, header = _read_system_and_header(args.file)
+    _resolve_replay_flags(args, "hu", header, args.file)
     if args.algorithms == "all":
         algorithms = available_solvers()
     else:
@@ -244,7 +324,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
     table = Table(
         f"certification on {args.file}",
-        ["algorithm", "pts", "verdict", "facts", "checks",
+        ["algorithm", "pts", "k", "verdict", "facts", "checks",
          "solve (s)", "certify (s)"],
     )
     failures = []
@@ -252,14 +332,25 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         for family in families:
             solver = make_solver(
                 system, algorithm, pts=family, workers=args.workers,
-                sanitize=args.sanitize, opt=args.opt,
+                sanitize=args.sanitize, opt=args.opt, k_cs=args.k_cs,
             )
             solution = solver.solve()
-            report = certify(system, solution)
+            if args.k_cs and solver.context is not None:
+                # k-CFA certification runs in clone space: the projected
+                # solution is strictly *more* precise than the insensitive
+                # least model, so the original constraints would reject it.
+                # The expanded system has standard semantics, so the same
+                # independent certifier covers cloning + opt + solving.
+                certified_system = solver.context.expanded
+                report = certify(certified_system, solver.context_solution())
+            else:
+                certified_system = system
+                report = certify(system, solution)
             table.add_row(
                 [
                     solver.full_name,
                     family,
+                    args.k_cs,
                     "ACCEPT" if report.ok else "REJECT",
                     report.claimed_facts,
                     report.facts_checked,
@@ -268,11 +359,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 ]
             )
             if not report.ok:
-                failures.append((solver.full_name, family, report))
+                failures.append(
+                    (solver.full_name, family, certified_system, report)
+                )
     print(table.render())
-    for name, family, report in failures:
+    for name, family, certified_system, report in failures:
         print(f"\n{name} / {family}:", file=sys.stderr)
-        print(report.summary(system), file=sys.stderr)
+        print(report.summary(certified_system), file=sys.stderr)
     return 1 if failures else 0
 
 
@@ -283,23 +376,28 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
         solvers_disagree,
     )
 
-    system = _read_system(args.file)
+    system, header = _read_system_and_header(args.file)
+    _resolve_replay_flags(args, "none", header, args.file)
     if args.check == "certify":
         predicate = certifier_rejects(
             args.algorithm, pts=args.pts, workers=args.workers,
-            sanitize=args.sanitize, opt=args.opt,
+            sanitize=args.sanitize, opt=args.opt, k_cs=args.k_cs,
         )
     else:
         predicate = solvers_disagree(
             args.algorithm, args.against, pts_a=args.pts, pts_b=args.pts,
-            workers=args.workers, opt=args.opt,
+            workers=args.workers, opt=args.opt, k_cs=args.k_cs,
         )
     result = minimize_system(system, predicate)
+    config = {"check": args.check, "algorithm": args.algorithm}
+    if args.check == "disagree":
+        config["against"] = args.against
+    config.update({"pts": args.pts, "opt": args.opt, "k-cs": args.k_cs})
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
-            result.write(handle)
+            result.write(handle, config=config)
     else:
-        result.write(sys.stdout)
+        result.write(sys.stdout, config=config)
     print(
         f"minimized {len(system)} -> {len(result)} constraints "
         f"({len(result.pinned)} pinned, {result.tests_run} predicate runs)"
@@ -355,6 +453,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_k_cs(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--k-cs",
+            type=int,
+            default=None,
+            choices=list(K_LEVELS),
+            dest="k_cs",
+            help="k-CFA context sensitivity: clone function-local "
+            "variables per bounded call string before the --opt stage "
+            "and project the solution back onto the base variables "
+            "(default 0, context-insensitive); composable with every "
+            "algorithm and points-to family",
+        )
+
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--algorithm",
@@ -372,7 +484,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--opt",
-            default="hu",
+            default=None,
             choices=list(OPT_STAGES),
             help="offline optimization stage run before solving: raw "
             "constraints (none), Rountev-style variable substitution "
@@ -381,6 +493,7 @@ def build_parser() -> argparse.ArgumentParser:
             "the default); solutions are expanded back to the original "
             "variable space, so results are identical across stages",
         )
+        add_k_cs(p)
 
     p_solve = sub.add_parser("solve", help="solve a constraint file")
     p_solve.add_argument("file")
@@ -444,11 +557,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_check.add_argument(
         "--opt",
-        default="hu",
+        default=None,
         choices=list(OPT_STAGES),
         help="offline optimization stage run before solving (results "
-        "are identical across stages)",
+        "are identical across stages; default hu)",
     )
+    add_k_cs(p_check)
     p_check.add_argument(
         "--checker",
         action="append",
@@ -499,10 +613,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_compare.add_argument(
         "--opt",
-        default="hu",
+        default=None,
         choices=list(OPT_STAGES),
-        help="offline optimization stage run before every solve",
+        help="offline optimization stage run before every solve "
+        "(default hu)",
     )
+    add_k_cs(p_compare)
     p_compare.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for parallel solvers (wave-par)",
@@ -532,12 +648,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_verify.add_argument(
         "--opt",
-        default="hu",
+        default=None,
         choices=list(OPT_STAGES),
-        help="offline optimization stage run before solving; the "
-        "certifier checks the expanded solution against the *original* "
-        "constraints, so certification covers the substitution map too",
+        help="offline optimization stage run before solving (default "
+        "hu); the certifier checks the expanded solution against the "
+        "*original* constraints, so certification covers the "
+        "substitution map too (at --k-cs > 0, against the "
+        "context-expanded constraints — see docs/internals.md)",
     )
+    add_k_cs(p_verify)
     p_verify.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for parallel solvers (wave-par)",
@@ -578,11 +697,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_reduce.add_argument(
         "--opt",
-        default="none",
+        default=None,
         choices=list(OPT_STAGES),
         help="offline optimization stage applied while replaying the "
         "predicate (default none: repros replay the raw failure)",
     )
+    add_k_cs(p_reduce)
     p_reduce.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for parallel solvers (wave-par)",

@@ -17,7 +17,7 @@ consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.constraints.model import (
@@ -70,6 +70,8 @@ class ConstraintBuilder:
         #: Provenance attached to subsequently emitted constraints (the
         #: front-end updates this per statement/expression).
         self._prov: Optional[Provenance] = None
+        #: Next call-site id; every call_direct/call_indirect gets one.
+        self._next_site: int = 1
 
     # ------------------------------------------------------------------
     # Provenance
@@ -196,17 +198,40 @@ class ConstraintBuilder:
                 Constraint(ConstraintKind.OFFS, dst, src, offset, prov=self._prov)
             )
 
+    def allocate_site(self) -> Provenance:
+        """Stamp a fresh call-site id onto the current provenance.
+
+        Every call expression — direct or indirect — owns one site id;
+        the parameter/return copies it desugars into all carry it, which
+        is what lets the k-CFA context manager treat them as one call
+        and bind them to one callee context.  Returns the site-stamped
+        provenance (based on the current one, or a synthesized blank).
+        """
+        site = self._next_site
+        self._next_site += 1
+        base = self._prov if self._prov is not None else Provenance(synthesized=True)
+        return replace(base, site=site)
+
     def call_direct(
         self,
         callee: FunctionHandle,
-        args: Sequence[int],
+        args: Sequence[Optional[int]],
         ret: Optional[int] = None,
     ) -> None:
-        """A direct call: plain copy constraints into the parameter nodes."""
-        for param, arg in zip(callee.params, args):
-            self.assign(param, arg)
-        if ret is not None:
-            self.assign(ret, callee.return_node)
+        """A direct call: plain copy constraints into the parameter nodes.
+
+        ``None`` argument slots (non-pointer expressions) are skipped.
+        All emitted copies share one freshly allocated call-site id.
+        """
+        previous = self.set_provenance(self.allocate_site())
+        try:
+            for param, arg in zip(callee.params, args):
+                if arg is not None:
+                    self.assign(param, arg)
+            if ret is not None:
+                self.assign(ret, callee.return_node)
+        finally:
+            self.set_provenance(previous)
 
     def call_indirect(
         self,
@@ -219,12 +244,17 @@ class ConstraintBuilder:
         Argument ``i`` is stored through ``fn_ptr`` at parameter offset
         ``i``; the return value is loaded at the return offset.  Pointees of
         ``fn_ptr`` that are not functions of sufficient arity are filtered
-        by the solvers via :attr:`ConstraintSystem.max_offset`.
+        by the solvers via :attr:`ConstraintSystem.max_offset`.  As with
+        :meth:`call_direct`, the desugared constraints share one site id.
         """
-        for i, arg in enumerate(args):
-            self.store(fn_ptr, arg, offset=PARAM_OFFSET + i)
-        if ret is not None:
-            self.load(ret, fn_ptr, offset=RETURN_OFFSET)
+        previous = self.set_provenance(self.allocate_site())
+        try:
+            for i, arg in enumerate(args):
+                self.store(fn_ptr, arg, offset=PARAM_OFFSET + i)
+            if ret is not None:
+                self.load(ret, fn_ptr, offset=RETURN_OFFSET)
+        finally:
+            self.set_provenance(previous)
 
     def raw(self, constraint: Constraint) -> None:
         """Append an already-formed constraint."""

@@ -50,17 +50,25 @@ class Provenance:
     constraint (``"Declaration"``, ``"Call"``, ``"Deref"``, ...), and
     ``synthesized`` marks constraints the front-end invented rather than
     lowered from a source statement (function self-bases, stub
-    summaries).  Provenance is carried by :class:`Constraint` but never
-    participates in constraint equality — two systems that differ only
-    in provenance solve identically, and the solvers ignore it.
+    summaries).  ``site`` is the call-site id (0 = not a call):
+    every direct or indirect call expression gets a fresh positive id,
+    stamped on all parameter/return copies it desugars into, so the
+    k-CFA context manager (:mod:`repro.contexts`) can group the
+    constraints of one call and bind them to one callee context.
+    Provenance is carried by :class:`Constraint` but never participates
+    in constraint equality — two systems that differ only in provenance
+    solve identically, and the context-insensitive solvers ignore it.
     """
 
     line: int = 0
     construct: str = ""
     synthesized: bool = False
+    site: int = 0
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         tag = f"{self.construct or '?'}@{self.line}"
+        if self.site:
+            tag = f"{tag}#{self.site}"
         return f"{tag}!" if self.synthesized else tag
 
 

@@ -19,16 +19,29 @@ Declaration order fixes the id assignment, so a round-trip through
 
 Any constraint directive (and ``fun``, whose implicit self-base
 constraint is re-created on parse) may carry a trailing *provenance
-annotation* ``! <line> <construct> <0|1>`` recording the source line,
-originating AST construct, and synthesized flag of the constraint —
-see :class:`~repro.constraints.model.Provenance`.  Files without
+annotation* ``! <line> <construct> <0|1> [site]`` recording the source
+line, originating AST construct, synthesized flag, and (optionally) the
+call-site id of the constraint — see
+:class:`~repro.constraints.model.Provenance`.  Files without
 annotations parse exactly as before (``prov`` stays ``None``).
+
+A file may additionally open with a *repro-config header* comment::
+
+    # repro-config: check=certify algorithm=lcd+hcd opt=hu k-cs=1 ...
+
+written by ``repro reduce`` so a minimized repro records the exact
+configuration that failed.  Being a comment, the header is invisible to
+:func:`read_constraints`; :func:`parse_repro_header` recovers it and the
+CLI replays the recorded ``--opt`` / ``--k-cs`` flags.
 """
 
 from __future__ import annotations
 
 import io
-from typing import Dict, List, TextIO
+from typing import Dict, List, Mapping, TextIO
+
+#: Leading-comment marker for the replayable CLI configuration.
+REPRO_HEADER_PREFIX = "# repro-config:"
 
 from repro.constraints.model import (
     Constraint,
@@ -49,9 +62,10 @@ def _split_prov(tokens: List[str], line_no: int):
         return tokens, None
     bang = tokens.index("!")
     annotation = tokens[bang + 1 :]
-    if len(annotation) != 3:
+    if len(annotation) not in (3, 4):
         raise ConstraintParseError(
-            line_no, "provenance annotation takes '! <line> <construct> <0|1>'"
+            line_no,
+            "provenance annotation takes '! <line> <construct> <0|1> [site]'",
         )
     try:
         src_line = int(annotation[0])
@@ -63,23 +77,41 @@ def _split_prov(tokens: List[str], line_no: int):
         raise ConstraintParseError(
             line_no, "provenance synthesized flag must be 0 or 1"
         )
+    site = 0
+    if len(annotation) == 4:
+        try:
+            site = int(annotation[3])
+        except ValueError:
+            raise ConstraintParseError(
+                line_no, "provenance call-site id must be an integer"
+            ) from None
+        if site < 0:
+            raise ConstraintParseError(
+                line_no, "provenance call-site id must be non-negative"
+            )
     prov = Provenance(
         line=src_line,
         # "?" is the serialized form of an empty construct name.
         construct="" if annotation[1] == "?" else annotation[1],
         synthesized=annotation[2] == "1",
+        site=site,
     )
     return tokens[:bang], prov
 
 
 def _prov_tokens(prov: Provenance) -> List[str]:
     """The serialized annotation for ``prov`` (inverse of ``_split_prov``)."""
-    return [
+    tokens = [
         "!",
         str(prov.line),
         prov.construct or "?",
         "1" if prov.synthesized else "0",
     ]
+    # The call-site id is a trailing optional token, so annotation-bearing
+    # files written before call sites existed round-trip byte-identically.
+    if prov.site:
+        tokens.append(str(prov.site))
+    return tokens
 
 
 class ConstraintParseError(ValueError):
@@ -260,3 +292,45 @@ def dumps_constraints(system: ConstraintSystem) -> str:
     buffer = io.StringIO()
     write_constraints(system, buffer)
     return buffer.getvalue()
+
+
+def format_repro_header(config: Mapping[str, object]) -> str:
+    """The repro-config comment line for ``config`` (ordered as given).
+
+    Values are rendered with ``str``; keys and values must not contain
+    whitespace or ``=`` (the CLI only records flag-like tokens).
+    """
+    parts = []
+    for key, value in config.items():
+        key_s, value_s = str(key), str(value)
+        for piece in (key_s, value_s):
+            if "=" in piece or any(ch.isspace() for ch in piece):
+                raise ValueError(f"unencodable repro-config entry {key_s}={value_s!r}")
+        parts.append(f"{key_s}={value_s}")
+    return f"{REPRO_HEADER_PREFIX} " + " ".join(parts)
+
+
+def parse_repro_header(text: str) -> Dict[str, str]:
+    """Recover the repro-config mapping from a constraint file's text.
+
+    Only the leading comment block is searched — a ``# repro-config:``
+    buried after the first directive is ignored, so constraint payloads
+    can never smuggle a header in.  Returns ``{}`` when absent.
+    """
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith(REPRO_HEADER_PREFIX):
+            config: Dict[str, str] = {}
+            for token in line[len(REPRO_HEADER_PREFIX):].split():
+                key, sep, value = token.partition("=")
+                if not sep or not key:
+                    raise ValueError(
+                        f"malformed repro-config entry {token!r}"
+                    )
+                config[key] = value
+            return config
+        if not line.startswith("#"):
+            break
+    return {}

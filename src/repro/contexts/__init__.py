@@ -1,0 +1,24 @@
+"""k-CFA call-string context sensitivity (``--k-cs``).
+
+The context manager rewrites a context-insensitive constraint system
+into a k-CFA one by cloning function-local variables per bounded call
+string, then projects the solved clones back to the base variable
+space.  See :mod:`repro.contexts.manager` for the cloning rules and the
+sharing policy, and ``docs/internals.md`` for the full contract.
+"""
+
+from repro.contexts.callstring import K_LEVELS, extend_call_string, format_call_string
+from repro.contexts.manager import (
+    ContextExpansion,
+    CtxStats,
+    expand_contexts,
+)
+
+__all__ = [
+    "K_LEVELS",
+    "ContextExpansion",
+    "CtxStats",
+    "expand_contexts",
+    "extend_call_string",
+    "format_call_string",
+]

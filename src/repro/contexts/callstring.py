@@ -1,0 +1,50 @@
+"""Bounded call strings — the contexts of k-CFA.
+
+A *call string* is a tuple of call-site ids, most recent call last.
+k-CFA keeps only the ``k`` most recent sites: extending a string pushes
+the new site and truncates to the suffix of length ``k``.  Suffix
+bounding is also what makes recursion terminate — a recursive call
+chain cycles through a finite set of length-``<= k`` suffixes instead
+of growing without bound.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: The context depths the CLI exposes (``--k-cs``).
+K_LEVELS = (0, 1, 2)
+
+CallString = Tuple[int, ...]
+
+#: The empty (top-level) call string; every function has it.
+EMPTY: CallString = ()
+
+
+def extend_call_string(ctx: CallString, site: int, k: int) -> CallString:
+    """Push ``site`` onto ``ctx`` and keep the most recent ``k`` sites.
+
+    ``k == 0`` always yields the empty string (context-insensitive).
+
+    >>> extend_call_string((), 7, 2)
+    (7,)
+    >>> extend_call_string((3, 7), 9, 2)
+    (7, 9)
+    >>> extend_call_string((3,), 9, 0)
+    ()
+    """
+    if k <= 0:
+        return EMPTY
+    return (ctx + (site,))[-k:]
+
+
+def format_call_string(ctx: CallString) -> str:
+    """Human/name-table rendering of a call string.
+
+    The empty string renders as ``"ε"`` on its own; non-empty strings
+    render as dot-joined site ids (``"3.7"``), the form appended to
+    cloned variable names.
+    """
+    if not ctx:
+        return "ε"
+    return ".".join(str(site) for site in ctx)

@@ -429,11 +429,12 @@ class ConstraintGenerator:
             handle = self._functions.get(name)
             local = self._lookup_scoped(name)
             if local is None and handle is not None:
-                # Direct call to a known function.
+                # Direct call to a known function.  call_direct stamps a
+                # fresh call-site id on the parameter/return copies so
+                # k-CFA can bind this call to its own callee context.
                 self._prov(expr.line, "Call")
-                self._copy_args(handle, args)
                 result = self.fresh_tmp(expr.line, f"ret_{name}")
-                self.builder.assign(result, handle.return_node)
+                self.builder.call_direct(handle, args, ret=result)
                 return result
             if local is None and handle is None:
                 self._prov(expr.line, "Call")
@@ -451,11 +452,6 @@ class ConstraintGenerator:
         result = self.fresh_tmp(expr.line, "iret")
         self.builder.call_indirect(pointer, concrete, ret=result)
         return result
-
-    def _copy_args(self, handle: FunctionHandle, args: List[Optional[int]]) -> None:
-        for param, arg in zip(handle.params, args):
-            if arg is not None:
-                self.builder.assign(param, arg)
 
     def _null_arg(self, line: int) -> int:
         """A pointer-free argument slot for an indirect call."""

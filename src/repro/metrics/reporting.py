@@ -30,6 +30,29 @@ def format_opt_summary(stats: Mapping[str, object]) -> str:
     )
 
 
+def format_ctx_summary(stats: Mapping[str, object]) -> str:
+    """One-line rendering of the ``ctx_*`` counters in a stats dict.
+
+    Returns the empty string when the run was context-insensitive
+    (``--k-cs 0``), so callers can print the result
+    unconditionally-if-truthy.
+    """
+    if not stats.get("ctx_k"):
+        return ""
+    seconds = float(stats.get("ctx_offline_seconds", 0.0))
+    return (
+        f"k={stats['ctx_k']}: {stats['ctx_contexts_created']} contexts, "
+        f"{stats['ctx_vars_cloned']} vars cloned over "
+        f"{stats['ctx_functions_cloned']}/{stats['ctx_functions_total']} functions, "
+        f"{stats['ctx_shared_nodes']} shared nodes, "
+        f"{stats['ctx_indirect_sites_specialized']}/{stats['ctx_indirect_sites']} "
+        f"indirect sites specialized "
+        f"({stats['ctx_indirect_expansions']} expansions), "
+        f"{stats['ctx_constraints_before']} -> {stats['ctx_constraints_after']} "
+        f"constraints, {seconds:.3f}s offline"
+    )
+
+
 def format_seconds(value: float) -> str:
     """Seconds with paper-style precision (two decimals, comma thousands)."""
     return f"{value:,.2f}"

@@ -18,6 +18,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.solution import PointsToSolution
 from repro.constraints.model import ConstraintSystem
+from repro.contexts.manager import ContextExpansion, CtxStats, expand_contexts
 from repro.datastructs.intern_table import InternStats
 from repro.datastructs.intset import iter_bits as _iter_bits
 from repro.datastructs.sparse_bitmap import SparseBitmap
@@ -109,6 +110,8 @@ class SolverStats:
     verify: Optional[VerifyStats] = None
     #: Filled in by runs with an offline optimization stage (--opt).
     opt: Optional[OptStats] = None
+    #: Filled in by context-sensitive runs (--k-cs > 0).
+    ctx: Optional[CtxStats] = None
 
     @property
     def total_memory_bytes(self) -> int:
@@ -141,6 +144,9 @@ class SolverStats:
         if self.opt is not None:
             for key, value in self.opt.as_dict().items():
                 data[f"opt_{key}"] = value
+        if self.ctx is not None:
+            for key, value in self.ctx.as_dict().items():
+                data[f"ctx_{key}"] = value
         return data
 
 
@@ -157,13 +163,25 @@ class BaseSolver:
         hcd: bool = False,
         sanitize: bool = False,
         opt: str = "none",
+        k_cs: int = 0,
     ) -> None:
         #: The system as handed in — solutions are always exported in its
-        #: variable space, whatever ``opt`` did to the constraints.
+        #: variable space, whatever ``--k-cs`` / ``--opt`` did to the
+        #: constraints.
         self.original_system = system
         self.opt = opt
+        self.k_cs = int(k_cs)
         self.preprocess: Optional[PreprocessResult] = None
+        self.context: Optional[ContextExpansion] = None
         self.stats = SolverStats()
+        if self.k_cs:
+            # Context expansion runs before *everything* else in the
+            # offline pipeline: HVN/HU and HCD's offline pass analyze the
+            # cloned constraint system the solver will actually solve.
+            context = expand_contexts(system, self.k_cs)
+            self.context = context
+            system = context.expanded
+            self.stats.ctx = context.stats
         if opt != "none":
             # The offline pipeline stage runs before *everything* —
             # including HCD's offline pass, which should analyze the
@@ -185,6 +203,7 @@ class BaseSolver:
         #: Invariant checks at collapse/propagate boundaries (--sanitize).
         self.sanitizer: Optional[Sanitizer] = Sanitizer(self) if sanitize else None
         self._solution: Optional[PointsToSolution] = None
+        self._context_solution: Optional[PointsToSolution] = None
         self.hcd_offline: Optional[HCDOfflineResult] = None
         if hcd:
             self.hcd_offline = hcd_offline_analysis(system)
@@ -196,18 +215,37 @@ class BaseSolver:
         When an offline stage substituted variables away, the reduced
         solution is expanded back to the original variable space here —
         every subclass and every consumer sees original-space solutions.
+        At ``k_cs > 0`` the clone-space solution is additionally
+        projected onto the base variables (per-variable union over its
+        context instances); :meth:`context_solution` keeps the
+        unprojected form for the certifier.
         """
         if self._solution is None:
             start = time.perf_counter()
             solution = self._run()
             if self.preprocess is not None:
                 solution = self.preprocess.expand(solution)
+            self._context_solution = solution
+            if self.context is not None:
+                solution = self.context.project(solution)
             self._solution = solution
             self.stats.solve_seconds = time.perf_counter() - start
             if self.sanitizer is not None:
                 self.sanitizer.final_check()
             self._account_memory()
         return self._solution
+
+    def context_solution(self) -> PointsToSolution:
+        """The pre-projection (clone-space) solution.
+
+        Identical to :meth:`solve` at ``k_cs == 0``.  At ``k_cs > 0``
+        this is the solution of ``self.context.expanded`` — the system a
+        certifier must check, since the projected base-space solution
+        deliberately violates the original constraints (that violation
+        is the precision win).
+        """
+        self.solve()
+        return self._context_solution
 
     def _run(self) -> PointsToSolution:
         raise NotImplementedError
@@ -238,8 +276,11 @@ class GraphSolver(BaseSolver):
         difference_propagation: bool = False,
         sanitize: bool = False,
         opt: str = "none",
+        k_cs: int = 0,
     ) -> None:
-        super().__init__(system, pts=pts, hcd=hcd, sanitize=sanitize, opt=opt)
+        super().__init__(
+            system, pts=pts, hcd=hcd, sanitize=sanitize, opt=opt, k_cs=k_cs
+        )
         system = self.system  # the (possibly) offline-reduced system
         self.worklist_strategy = worklist
         #: Difference propagation (Pearce, Kelly & Hankin, SCAM 2003):

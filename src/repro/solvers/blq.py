@@ -49,8 +49,11 @@ class BLQSolver(BaseSolver):
         interleave: bool = True,
         sanitize: bool = False,
         opt: str = "none",
+        k_cs: int = 0,
     ) -> None:
-        super().__init__(system, pts=pts, hcd=hcd, sanitize=sanitize, opt=opt)
+        super().__init__(
+            system, pts=pts, hcd=hcd, sanitize=sanitize, opt=opt, k_cs=k_cs
+        )
         system = self.system  # the (possibly) offline-reduced system
         n = max(system.num_vars, 1)
         self._alloc = DomainAllocator(

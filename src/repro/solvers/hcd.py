@@ -32,6 +32,7 @@ class HCDSolver(NaiveSolver):
         difference_propagation: bool = False,
         sanitize: bool = False,
         opt: str = "none",
+        k_cs: int = 0,
     ) -> None:
         # HCD *is* the algorithm here; it cannot be switched off.
         super().__init__(
@@ -42,6 +43,7 @@ class HCDSolver(NaiveSolver):
             difference_propagation=difference_propagation,
             sanitize=sanitize,
             opt=opt,
+            k_cs=k_cs,
         )
 
     @property

@@ -45,8 +45,11 @@ class HTSolver(BaseSolver):
         worklist: str = "divided-lrf",  # accepted for interface parity; unused
         sanitize: bool = False,
         opt: str = "none",
+        k_cs: int = 0,
     ) -> None:
-        super().__init__(system, pts=pts, hcd=hcd, sanitize=sanitize, opt=opt)
+        super().__init__(
+            system, pts=pts, hcd=hcd, sanitize=sanitize, opt=opt, k_cs=k_cs
+        )
         system = self.system  # the (possibly) offline-reduced system
         self.family = make_family(pts, system.num_vars)
         n = system.num_vars

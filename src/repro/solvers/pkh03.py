@@ -46,6 +46,7 @@ class PKH03Solver(GraphSolver):
         difference_propagation: bool = False,
         sanitize: bool = False,
         opt: str = "none",
+        k_cs: int = 0,
     ) -> None:
         super().__init__(
             system,
@@ -55,6 +56,7 @@ class PKH03Solver(GraphSolver):
             difference_propagation=difference_propagation,
             sanitize=sanitize,
             opt=opt,
+            k_cs=k_cs,
         )
         system = self.system  # the (possibly) offline-reduced system
         self.topo = DynamicTopologicalOrder(system.num_vars)

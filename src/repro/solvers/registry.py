@@ -95,6 +95,7 @@ def make_solver(
     workers: int = 1,
     sanitize: bool = False,
     opt: str = "none",
+    k_cs: int = 0,
 ) -> BaseSolver:
     """Instantiate a solver by name (without running it).
 
@@ -104,7 +105,11 @@ def make_solver(
     solver's collapse/propagate boundaries.  ``opt`` selects the offline
     optimization stage (:data:`repro.preprocess.hvn.OPT_STAGES`) run on
     the constraints before solving; solutions are transparently expanded
-    back to the original variable space.
+    back to the original variable space.  ``k_cs`` selects k-CFA context
+    sensitivity (:mod:`repro.contexts`): the system is cloned per
+    bounded call string before the ``opt`` stage, and the solution is
+    projected back onto the base variables — composable with every
+    algorithm, points-to family and optimization stage.
     """
     name = algorithm.lower().strip()
     hcd = False
@@ -124,7 +129,7 @@ def make_solver(
         extra["workers"] = workers
     return solver_cls(
         system, pts=pts, hcd=hcd, worklist=worklist, sanitize=sanitize,
-        opt=opt, **extra
+        opt=opt, k_cs=k_cs, **extra
     )
 
 
@@ -136,9 +141,10 @@ def solve(
     workers: int = 1,
     sanitize: bool = False,
     opt: str = "none",
+    k_cs: int = 0,
 ) -> PointsToSolution:
     """One-call API: build the named solver and return its solution."""
     return make_solver(
         system, algorithm, pts=pts, worklist=worklist, workers=workers,
-        sanitize=sanitize, opt=opt,
+        sanitize=sanitize, opt=opt, k_cs=k_cs,
     ).solve()

@@ -54,11 +54,14 @@ class SteensgaardSolver(BaseSolver):
         worklist: str = "divided-lrf",  # unused
         sanitize: bool = False,
         opt: str = "none",  # accepted for interface parity; always "none"
+        k_cs: int = 0,
     ) -> None:
         # HVN/HU merges are proven against the *inclusion-based* least
         # model; unification-based analysis computes a different relation,
         # so the substitution contract does not apply — run unoptimized.
-        super().__init__(system, pts=pts, hcd=False, sanitize=sanitize)
+        # Context expansion is plain cloning, which unification handles.
+        super().__init__(system, pts=pts, hcd=False, sanitize=sanitize, k_cs=k_cs)
+        system = self.system  # the (possibly) context-expanded system
         n = system.num_vars
         self.uf = UnionFind(n)
         #: pointee[c] — the class this class's members point to (or None).

@@ -23,10 +23,10 @@ predicate => same minimized output.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, TextIO, Tuple
+from typing import Callable, List, Mapping, Optional, Sequence, TextIO, Tuple
 
 from repro.constraints.model import Constraint, ConstraintKind, ConstraintSystem
-from repro.constraints.parser import write_constraints
+from repro.constraints.parser import format_repro_header, write_constraints
 
 #: A predicate over constraint systems: True = "still fails / interesting".
 Predicate = Callable[[ConstraintSystem], bool]
@@ -47,8 +47,18 @@ class MinimizationResult:
     def __len__(self) -> int:
         return len(self.kept) + len(self.pinned)
 
-    def write(self, stream: TextIO) -> None:
-        """Serialize the minimized system as a replayable ``.cons`` file."""
+    def write(
+        self, stream: TextIO, config: Optional[Mapping[str, object]] = None
+    ) -> None:
+        """Serialize the minimized system as a replayable ``.cons`` file.
+
+        ``config``, when given, is recorded as a leading ``# repro-config:``
+        header comment (see :func:`repro.constraints.parser
+        .parse_repro_header`) so the repro remembers the exact failure
+        configuration — the CLI replays ``opt``/``k-cs`` from it.
+        """
+        if config:
+            stream.write(format_repro_header(config) + "\n")
         write_constraints(self.system, stream)
 
 
@@ -174,9 +184,16 @@ def certifier_rejects(
     workers: int = 1,
     sanitize: bool = False,
     opt: str = "none",
+    k_cs: int = 0,
 ) -> Predicate:
     """Predicate: the certifier rejects ``algorithm``'s solution (or the
-    sanitizer aborts the run with an :class:`InvariantViolation`)."""
+    sanitizer aborts the run with an :class:`InvariantViolation`).
+
+    At ``k_cs > 0`` the certifier checks the clone-space solution against
+    the context-expanded system — the projected solution is strictly more
+    precise than the insensitive least model, so checking it against the
+    original constraints would reject every correct run.
+    """
     from repro.solvers.registry import make_solver
     from repro.verify.certifier import certify
     from repro.verify.sanitizer import InvariantViolation
@@ -184,12 +201,16 @@ def certifier_rejects(
     def predicate(system: ConstraintSystem) -> bool:
         solver = make_solver(
             system, algorithm, pts=pts, workers=workers, sanitize=sanitize,
-            opt=opt,
+            opt=opt, k_cs=k_cs,
         )
         try:
             solution = solver.solve()
         except InvariantViolation:
             return True
+        if k_cs and solver.context is not None:
+            return not certify(
+                solver.context.expanded, solver.context_solution()
+            ).ok
         return not certify(system, solution).ok
 
     return predicate
@@ -202,13 +223,24 @@ def solvers_disagree(
     pts_b: str = "bitmap",
     workers: int = 1,
     opt: str = "none",
+    k_cs: int = 0,
 ) -> Predicate:
-    """Predicate: two solver configurations produce different solutions."""
+    """Predicate: two solver configurations produce different solutions.
+
+    Solutions are compared in the base variable space (k-CFA runs project
+    back before returning), so any ``k_cs`` composes with any pair.
+    """
     from repro.solvers.registry import solve
 
     def predicate(system: ConstraintSystem) -> bool:
-        first = solve(system, algorithm_a, pts=pts_a, workers=workers, opt=opt)
-        second = solve(system, algorithm_b, pts=pts_b, workers=workers, opt=opt)
+        first = solve(
+            system, algorithm_a, pts=pts_a, workers=workers, opt=opt,
+            k_cs=k_cs,
+        )
+        second = solve(
+            system, algorithm_b, pts=pts_b, workers=workers, opt=opt,
+            k_cs=k_cs,
+        )
         return first != second
 
     return predicate

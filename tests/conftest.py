@@ -39,6 +39,27 @@ def cycle_system() -> ConstraintSystem:
     return b.build()
 
 
+@pytest.fixture
+def call_system() -> ConstraintSystem:
+    """Two call chains through a shared identity helper, one direct and
+    one via a function pointer: the canonical shape where k >= 1 keeps
+    apart what context-insensitive analysis conflates."""
+    b = ConstraintBuilder()
+    ident = b.function("ident", params=["p"])
+    b.assign(ident.return_node, ident.params[0])
+    x, y = b.var("x"), b.var("y")
+    ax, ay = b.var("main::ax"), b.var("main::ay")
+    b.address_of(ax, x)
+    b.address_of(ay, y)
+    rx, ry = b.var("main::rx"), b.var("main::ry")
+    b.call_direct(ident, [ax], ret=rx)
+    b.call_direct(ident, [ay], ret=ry)
+    fp = b.var("main::fp")
+    b.address_of(fp, ident.node)
+    b.call_indirect(fp, [ax], ret=b.var("main::ri"))
+    return b.build()
+
+
 def random_system(seed: int, max_vars: int = 25, max_constraints: int = 60) -> ConstraintSystem:
     """Seeded random constraint system, shared by the differential tests."""
     rng = random.Random(seed)

@@ -1,0 +1,35 @@
+/* The k-CFA precision demo: 'pick' returns its argument and is called
+ * once with a function address and once with a data address.  Context-
+ * insensitive analysis merges both calls through pick's single
+ * parameter/return pair, so pts(g) picks up the data object 'cell' and
+ * the indirect call below looks like it may target a non-function — a
+ * false positive.  1-CFA clones pick's parameter and return per call
+ * site, keeps the two flows apart, and this file is clean.  The
+ * insensitive findings are pinned by context_fp.k0.golden.json; the
+ * corpus runner analyzes context_*.c files with --k-cs 1. */
+int target(int x) {
+    return x;
+}
+
+int cell;
+int *slot;
+
+int *pick(int *p) {
+    return p;
+}
+
+int (*g)(int);
+
+int dispatch() {
+    g = pick(&target);
+    return g(7);
+}
+
+void stash() {
+    slot = pick(&cell);
+}
+
+int main() {
+    stash();
+    return dispatch();
+}

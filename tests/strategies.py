@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 
 from repro.constraints.builder import ConstraintBuilder
 from repro.constraints.model import ConstraintSystem
+from repro.contexts import K_LEVELS
 from repro.points_to.interface import FAMILY_KINDS
 from repro.preprocess.hvn import OPT_STAGES
 
@@ -19,6 +20,10 @@ pts_families = st.sampled_from(FAMILY_KINDS)
 #: Draw one of the offline optimization stages (--opt), so differential
 #: tests cover the none/ovs/hvn/hu pipeline uniformly.
 opt_stages = st.sampled_from(OPT_STAGES)
+
+#: Draw a k-CFA context-sensitivity level (--k-cs), so differential
+#: tests cover insensitive, 1-CFA and 2-CFA expansions uniformly.
+k_levels = st.sampled_from(K_LEVELS)
 
 
 @st.composite

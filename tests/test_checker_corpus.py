@@ -7,7 +7,11 @@ field-by-field by committed ``.golden.json`` files (regenerate with
 bug-free programs the checkers must stay silent on — including
 ``steensgaard_fp.c``, where a unification-based solution produces a
 bad-indirect-call false positive that inclusion-based analysis rules
-out (the paper's Section 2 precision argument, as a test).
+out (the paper's Section 2 precision argument, as a test), and
+``context_fp.c``, where *insensitive* inclusion-based analysis produces
+the same class of false positive that 1-CFA (``--k-cs 1``) rules out;
+``context_*.c`` files are analyzed at k=1 (see :func:`corpus_k_cs`) and
+their insensitive findings are pinned by ``.k0.golden.json`` files.
 """
 
 import json
@@ -43,11 +47,22 @@ def corpus_field_mode(path: pathlib.Path) -> str:
     return "sensitive" if ".sensitive." in path.name else "insensitive"
 
 
-def check_file(path: pathlib.Path, algorithm: str = "lcd+hcd"):
+def corpus_k_cs(path: pathlib.Path) -> int:
+    """Context-sensitivity level a corpus file is clean/buggy under.
+
+    ``context_*.c`` files demonstrate insensitive false positives, so
+    they are analyzed at k=1; everything else at the k=0 default.
+    """
+    return 1 if path.name.startswith("context_") else 0
+
+
+def check_file(path: pathlib.Path, algorithm: str = "lcd+hcd", k_cs=None):
     program = generate_constraints(
         path.read_text(), field_mode=corpus_field_mode(path)
     )
-    solution = solve(program.system, algorithm)
+    if k_cs is None:
+        k_cs = corpus_k_cs(path)
+    solution = solve(program.system, algorithm, k_cs=k_cs)
     return run_checkers(
         program.system,
         solution,
@@ -130,6 +145,50 @@ def test_precision_monotone_checkers(path):
         n_precise = sum(1 for d in precise if d.rule == rule)
         n_coarse = sum(1 for d in coarse if d.rule == rule)
         assert n_precise <= n_coarse, (path.name, rule)
+
+
+def test_context_false_positive_eliminated():
+    """The k-CFA precision demo: context_fp.c is clean under 1-CFA but
+    the insensitive solution merges a data pointer into the function
+    pointer through a shared helper and fabricates a bad-indirect-call."""
+    path = CORPUS / "clean" / "context_fp.c"
+    assert len(check_file(path, k_cs=1)) == 0
+    assert len(check_file(path, k_cs=2)) == 0
+    coarse = check_file(path, k_cs=0)
+    assert any(d.rule == "bad-indirect-call" for d in coarse)
+
+
+def test_context_fp_matches_k0_golden():
+    """The insensitive findings on context_fp.c are pinned field-by-field
+    so the FP the headline bench counts can never silently drift."""
+    path = CORPUS / "clean" / "context_fp.c"
+    golden = json.loads((path.parent / "context_fp.k0.golden.json").read_text())
+    got = [
+        {
+            "rule": d.rule,
+            "severity": d.severity.label,
+            "line": d.line,
+            "construct": d.construct,
+            "message": d.message,
+        }
+        for d in check_file(path, k_cs=0)
+    ]
+    assert got == golden
+
+
+@pytest.mark.parametrize("path", BUGGY + CLEAN, ids=lambda p: p.name)
+def test_context_sensitivity_monotone(path):
+    """1-CFA only removes findings for the monotone checkers — and it
+    never loses a seeded bug (the zero-missed-bugs half of the headline
+    precision claim)."""
+    k0 = check_file(path, k_cs=0)
+    k1 = check_file(path, k_cs=1)
+    for rule in MONOTONE_RULES:
+        n_k1 = sum(1 for d in k1 if d.rule == rule)
+        n_k0 = sum(1 for d in k0 if d.rule == rule)
+        assert n_k1 <= n_k0, (path.name, rule)
+    seeded = set(expected_bug_findings(path.read_text()))
+    assert seeded <= {(d.rule, d.line) for d in k1}, path.name
 
 
 def test_steensgaard_false_positive_eliminated():

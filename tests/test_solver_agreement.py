@@ -12,12 +12,13 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from conftest import random_system
+from repro.contexts import K_LEVELS
 from repro.points_to.interface import FAMILY_KINDS
 from repro.preprocess.hvn import OPT_STAGES
 from repro.preprocess.ovs import offline_variable_substitution
 from repro.solvers.registry import available_solvers, solve
 from repro.workloads import generate_workload
-from strategies import constraint_systems, opt_stages, pts_families
+from strategies import constraint_systems, k_levels, opt_stages, pts_families
 
 ALGORITHMS = available_solvers()
 GRAPH_ALGORITHMS = [a for a in ALGORITHMS if not a.startswith("blq")]
@@ -403,3 +404,80 @@ class TestOptStages:
         plain = make_solver(system, "lcd+hcd")
         plain.solve()
         assert "opt_stage" not in plain.stats.as_dict()
+
+
+class TestContextSensitivity:
+    """k-CFA (--k-cs) composes with everything: at any fixed k, every
+    algorithm, points-to family and offline stage solves the *same*
+    context-expanded system, so all must stay bit-identical — and the
+    projected k-sensitive solution must be pointwise contained in the
+    insensitive one (the paper's precision order)."""
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("k", K_LEVELS)
+    def test_every_solver_every_k(self, call_system, algorithm, k):
+        reference = solve(call_system, "naive", k_cs=k)
+        assert solve(call_system, algorithm, k_cs=k) == reference, (algorithm, k)
+
+    @pytest.mark.parametrize("pts", list(FAMILY_KINDS))
+    @pytest.mark.parametrize("stage", ("none", "hu"))
+    def test_family_and_opt_grid_at_k1(self, call_system, pts, stage):
+        reference = solve(call_system, "naive", k_cs=1)
+        assert (
+            solve(call_system, "lcd+hcd", pts=pts, opt=stage, k_cs=1)
+            == reference
+        ), (pts, stage)
+
+    @pytest.mark.parametrize("name", ["emacs", "wine", "linux"])
+    def test_workloads_bit_identical_at_k1(self, name):
+        system = generate_workload(name, scale=1 / 512, seed=2)
+        reference = solve(system, "naive", k_cs=1)
+        for algorithm in ("lcd", "hcd", "lcd+hcd", "ht", "pkh", "wave"):
+            for stage in ("none", "hu"):
+                assert (
+                    solve(system, algorithm, opt=stage, k_cs=1) == reference
+                ), (algorithm, stage)
+        for workers in (1, 2):
+            assert (
+                solve(system, "wave-par", k_cs=1, workers=workers) == reference
+            ), workers
+
+    @pytest.mark.parametrize("name", ["emacs", "wine"])
+    def test_workloads_monotone_precision(self, name):
+        system = generate_workload(name, scale=1 / 512, seed=2)
+        by_k = {k: solve(system, "lcd+hcd", k_cs=k) for k in K_LEVELS}
+        for k_fine, k_coarse in ((1, 0), (2, 1)):
+            for var in range(system.num_vars):
+                assert by_k[k_fine].points_to(var) <= by_k[k_coarse].points_to(
+                    var
+                ), (name, k_fine, k_coarse, system.name_of(var))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_random_systems_agree_at_k1(self, seed):
+        system = random_system(seed)
+        reference = solve(system, "naive", k_cs=1)
+        for algorithm in ("lcd+hcd", "ht+hcd", "pkh", "hcd", "wave", "blq"):
+            result = solve(system, algorithm, k_cs=1)
+            assert result == reference, (algorithm, result.diff(reference))
+
+    @given(system=constraint_systems(), k=k_levels, stage=opt_stages,
+           pts=pts_families)
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_generated_systems_k_stage_family_grid(self, system, k, stage, pts):
+        """Hypothesis-shrinkable differential over k x stages x families."""
+        assert solve(system, "lcd+hcd", pts=pts, opt=stage, k_cs=k) == solve(
+            system, "naive", k_cs=k
+        )
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_random_systems_monotone_precision(self, seed):
+        """Soundness + precision order: pts at k=1 never exceeds k=0."""
+        system = random_system(seed)
+        insensitive = solve(system, "lcd+hcd")
+        sensitive = solve(system, "lcd+hcd", k_cs=1)
+        for var in range(system.num_vars):
+            assert sensitive.points_to(var) <= insensitive.points_to(var), (
+                system.name_of(var)
+            )
