@@ -48,17 +48,23 @@ BLOWUP_BUDGET = 1.6  # k=1 expanded / original constraints (geo-mean, le)
 TIME_RATIO_BUDGET = 3.0  # k=1 seconds / k=0 seconds (geo-mean, le)
 
 
-def _check_corpus_file(path: pathlib.Path, k: int):
+def _check_corpus_file(path: pathlib.Path, k: int, algorithm: str = ALGORITHM):
     """Findings + seeded markers for one corpus program at level ``k``."""
     field_mode = "sensitive" if ".sensitive." in path.name else "insensitive"
     program = generate_constraints(path.read_text(), field_mode=field_mode)
-    solution = solve(program.system, ALGORITHM, k_cs=k)
+    solver = make_solver(program.system, algorithm, k_cs=k)
+    solution = solver.solve()
+    expansion = solver.context
     report = run_checkers(
         program.system,
         solution,
         program=program,
         path=path.name,
         min_severity=Severity.WARNING,
+        expansion=expansion,
+        expanded_solution=(
+            solver.context_solution() if expansion is not None else None
+        ),
     )
     seeded = set(expected_bug_findings(path.read_text()))
     found = {(d.rule, d.line) for d in report}

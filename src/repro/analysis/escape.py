@@ -12,7 +12,7 @@ qualified names (``"fn::var"``) carry ownership.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, FrozenSet, List, Optional, Set
 
 from repro.analysis.solution import PointsToSolution
 from repro.frontend.generator import GeneratedProgram
@@ -64,6 +64,11 @@ class EscapeAnalysis:
     def escapes(self, qualified_name: str) -> bool:
         """Whether the named local object may outlive its function."""
         return self.program.node_of(qualified_name) in self._escaped
+
+    def escaped_nodes(self) -> FrozenSet[int]:
+        """Node ids of every escaping function-local object — the
+        thread-shared candidates the race detector starts from."""
+        return frozenset(self._escaped)
 
     def escaped_locals(self) -> List[str]:
         """Qualified names of all escaping function-local objects."""

@@ -22,8 +22,14 @@ from typing import Optional, Sequence
 
 from repro.analysis.solution import PointsToSolution
 from repro.checkers import checks as _checks  # noqa: F401  (registers built-ins)
+from repro.checkers import dataflow_checks as _dataflow_checks  # noqa: F401
 from repro.checkers.context import CheckContext
-from repro.checkers.diagnostics import CheckReport, Diagnostic, Severity
+from repro.checkers.diagnostics import (
+    CheckReport,
+    Diagnostic,
+    RelatedLocation,
+    Severity,
+)
 from repro.checkers.registry import (
     CheckerInfo,
     checker_names,
@@ -46,6 +52,7 @@ __all__ = [
     "CheckReport",
     "CheckerInfo",
     "Diagnostic",
+    "RelatedLocation",
     "SarifValidationError",
     "Severity",
     "checker_names",
@@ -68,14 +75,26 @@ def run_checkers(
     checkers: Optional[Sequence[str]] = None,
     disabled: Optional[Sequence[str]] = None,
     min_severity: Severity = Severity.NOTE,
+    expansion=None,
+    expanded_solution: Optional[PointsToSolution] = None,
 ) -> CheckReport:
     """Run (a selection of) the registered checkers over one solution.
 
     ``checkers=None`` runs everything registered; ``disabled`` drops
     names from that selection; findings below ``min_severity`` are
     filtered out.  The report is deduplicated and source-ordered.
+    ``expansion``/``expanded_solution`` (from a k-CFA solver's
+    ``context``/``context_solution()``) let value-flow clients
+    propagate in clone space for context-sensitive precision.
     """
-    ctx = CheckContext(system, solution, program=program, path=path)
+    ctx = CheckContext(
+        system,
+        solution,
+        program=program,
+        path=path,
+        expansion=expansion,
+        expanded_solution=expanded_solution,
+    )
     report = CheckReport()
     for info in select_checkers(checkers, disabled):
         report.extend(info.run(ctx))

@@ -24,8 +24,20 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Set, Tuple
 
 from repro.checkers.context import CheckContext
-from repro.checkers.diagnostics import Diagnostic, Severity
+from repro.checkers.diagnostics import Diagnostic, RelatedLocation, Severity
 from repro.checkers.registry import register_checker
+
+
+def _site_note(ctx: CheckContext, loc: int, message: str) -> Tuple[RelatedLocation, ...]:
+    """A related location for an abstract location, when it has one.
+
+    Findings used to *mention* their secondary site only in the message
+    text, dropping the location; anchoring it here lets SARIF consumers
+    jump to both sites."""
+    line = ctx.location_line(loc)
+    if line < 1:
+        return ()
+    return (RelatedLocation(message=message, line=line, file=ctx.path),)
 
 
 @register_checker(
@@ -116,6 +128,9 @@ def check_dangling_stack_escape(ctx: CheckContext) -> Iterator[Diagnostic]:
                 line=ctx.location_line(loc),
                 construct="AddressOf",
                 file=ctx.path,
+                related=_site_note(
+                    ctx, holder, f"held past the frame by {via}"
+                ),
             )
 
 
@@ -213,6 +228,11 @@ def check_bad_indirect_call(ctx: CheckContext) -> Iterator[Diagnostic]:
                 line=line,
                 construct="IndirectCall",
                 file=ctx.path,
+                related=_site_note(
+                    ctx,
+                    loc,
+                    f"offending target '{ctx.name_of(loc)}' originates here",
+                ),
             )
 
 

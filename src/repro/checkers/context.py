@@ -16,7 +16,7 @@ conventions baked into the variable names.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.analysis.solution import PointsToSolution
 from repro.constraints.model import (
@@ -77,12 +77,19 @@ class CheckContext:
         solution: PointsToSolution,
         program: Optional[GeneratedProgram] = None,
         path: str = "<input>",
+        expansion=None,
+        expanded_solution: Optional[PointsToSolution] = None,
     ) -> None:
         self.system = system
         self.solution = solution
         self.program = program
         self.path = path
         self.functions = system.functions
+        #: k-CFA context expansion the solver ran under, when any
+        #: (a :class:`~repro.analysis.context.ContextExpansion`), plus
+        #: the pre-projection clone-space solution that goes with it.
+        self.expansion = expansion
+        self.expanded_solution = expanded_solution
 
         if program is not None:
             self.null_node: Optional[int] = program.null_node
@@ -109,6 +116,31 @@ class CheckContext:
             self._function_block_nodes.update(
                 range(info.node, info.node + info.block_size)
             )
+
+    def dataflow_view(
+        self,
+    ) -> Tuple[ConstraintSystem, PointsToSolution, Mapping[int, Tuple[int, ...]]]:
+        """The most precise (system, solution, clone instances) triple
+        available for value-flow clients.
+
+        Under k-CFA the *projected* solution separates pointer targets,
+        but value flow routed through base-space memory edges would
+        re-merge at shared stores; propagating over the *expanded*
+        system with the clone-space solution keeps contexts apart.  The
+        instance map sends each base variable to its clones so seeds
+        and sinks cover every context of a variable.
+        """
+        if (
+            self.expansion is not None
+            and self.expanded_solution is not None
+            and not self.expansion.is_identity()
+        ):
+            return (
+                self.expansion.expanded,
+                self.expanded_solution,
+                self.expansion.clone_groups,
+            )
+        return self.system, self.solution, {}
 
     # ------------------------------------------------------------------
     # Location classification (front-end naming conventions)

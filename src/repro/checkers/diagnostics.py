@@ -41,6 +41,26 @@ class Severity(enum.IntEnum):
 
 
 @dataclass(frozen=True)
+class RelatedLocation:
+    """A secondary site of a finding (SARIF ``relatedLocations``).
+
+    Two-site diagnostics — a race's other access, a taint flow's source
+    — anchor their counterpart here; the primary location stays on the
+    :class:`Diagnostic` itself.
+    """
+
+    message: str
+    #: 1-based source line; 0 when unknown.
+    line: int = 0
+    #: Path of the file holding the secondary site.
+    file: str = "<input>"
+
+    def render(self) -> str:
+        where = f"{self.file}:{self.line}" if self.line > 0 else self.file
+        return f"{where}: note: {self.message}"
+
+
+@dataclass(frozen=True)
 class Diagnostic:
     """One finding, anchored to the source line its provenance names."""
 
@@ -53,14 +73,20 @@ class Diagnostic:
     construct: str = ""
     #: Path of the checked translation unit (or ``<input>``).
     file: str = "<input>"
+    #: Secondary sites (kept a tuple: diagnostics must stay hashable).
+    related: Tuple[RelatedLocation, ...] = ()
 
     def sort_key(self) -> Tuple:
         return (self.file, self.line, self.rule, self.message)
 
     def render(self) -> str:
-        """Compiler-style one-liner: ``file:line: severity: message [rule]``."""
+        """Compiler-style listing: ``file:line: severity: message [rule]``
+        plus one indented ``note:`` line per related location."""
         where = f"{self.file}:{self.line}" if self.line > 0 else self.file
-        return f"{where}: {self.severity.label}: {self.message} [{self.rule}]"
+        head = f"{where}: {self.severity.label}: {self.message} [{self.rule}]"
+        if not self.related:
+            return head
+        return "\n".join([head, *(f"  {r.render()}" for r in self.related)])
 
 
 @dataclass

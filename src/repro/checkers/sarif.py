@@ -14,7 +14,12 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
-from repro.checkers.diagnostics import CheckReport, Diagnostic, Severity
+from repro.checkers.diagnostics import (
+    CheckReport,
+    Diagnostic,
+    RelatedLocation,
+    Severity,
+)
 from repro.checkers.registry import registered_checkers
 
 SARIF_VERSION = "2.1.0"
@@ -25,6 +30,14 @@ TOOL_URI = "https://dl.acm.org/doi/10.1145/1250734.1250767"
 #: The SARIF result levels the checkers use (``none`` exists in the
 #: standard but has no Severity counterpart here).
 _LEVELS = {s.label for s in Severity}
+
+
+def _physical_location(file: str, line: int) -> Dict[str, Any]:
+    """A SARIF location object; regions are 1-based so line 0 has none."""
+    physical: Dict[str, Any] = {"artifactLocation": {"uri": file}}
+    if line >= 1:
+        physical["region"] = {"startLine": line}
+    return {"physicalLocation": physical}
 
 
 def to_sarif(report: CheckReport, tool_version: str = "0.1.0") -> Dict[str, Any]:
@@ -51,14 +64,21 @@ def to_sarif(report: CheckReport, tool_version: str = "0.1.0") -> Dict[str, Any]
                 "line": diag.line,
             },
         }
-        location: Dict[str, Any] = {
-            "physicalLocation": {
-                "artifactLocation": {"uri": diag.file},
-            }
-        }
-        if diag.line >= 1:  # SARIF regions are 1-based; 0 is not valid
-            location["physicalLocation"]["region"] = {"startLine": diag.line}
-        result["locations"] = [location]
+        result["locations"] = [_physical_location(diag.file, diag.line)]
+        if diag.related:
+            result["relatedLocations"] = [
+                dict(
+                    _physical_location(rel.file, rel.line),
+                    message={"text": rel.message},
+                )
+                for rel in diag.related
+            ]
+            # Mirror in the properties bag so line-0 secondary sites
+            # (not expressible as a SARIF region) round-trip exactly.
+            result["properties"]["related"] = [
+                {"message": rel.message, "line": rel.line, "file": rel.file}
+                for rel in diag.related
+            ]
         results.append(result)
     return {
         "version": SARIF_VERSION,
@@ -132,20 +152,33 @@ def validate_sarif(doc: Any) -> None:
                 "result.message.text must be a string",
             )
             for location in result.get("locations", []):
-                physical = location.get("physicalLocation", {})
-                artifact = physical.get("artifactLocation", {})
+                _validate_location(location)
+            for location in result.get("relatedLocations", []):
+                _validate_location(location)
+                rel_message = location.get("message")
                 _require(
-                    isinstance(artifact.get("uri"), str),
-                    "artifactLocation.uri must be a string",
+                    isinstance(rel_message, dict)
+                    and isinstance(rel_message.get("text"), str),
+                    "relatedLocation.message.text must be a string",
                 )
-                region = physical.get("region")
-                if region is not None:
-                    start = region.get("startLine")
-                    _require(
-                        isinstance(start, int) and not isinstance(start, bool)
-                        and start >= 1,
-                        "region.startLine must be an integer >= 1",
-                    )
+
+
+def _validate_location(location: Any) -> None:
+    _require(isinstance(location, dict), "location must be an object")
+    physical = location.get("physicalLocation", {})
+    artifact = physical.get("artifactLocation", {})
+    _require(
+        isinstance(artifact.get("uri"), str),
+        "artifactLocation.uri must be a string",
+    )
+    region = physical.get("region")
+    if region is not None:
+        start = region.get("startLine")
+        _require(
+            isinstance(start, int) and not isinstance(start, bool)
+            and start >= 1,
+            "region.startLine must be an integer >= 1",
+        )
 
 
 def from_sarif(doc: Dict[str, Any]) -> CheckReport:
@@ -178,6 +211,36 @@ def from_sarif(doc: Dict[str, Any]) -> CheckReport:
                     line=line,
                     construct=properties.get("construct", ""),
                     file=uri,
+                    related=_related_from(result, properties),
                 )
             )
     return report
+
+
+def _related_from(
+    result: Dict[str, Any], properties: Dict[str, Any]
+) -> tuple:
+    """Secondary sites: the properties mirror wins (it keeps line 0);
+    plain ``relatedLocations`` are the fallback for foreign documents."""
+    mirror = properties.get("related")
+    if isinstance(mirror, list):
+        return tuple(
+            RelatedLocation(
+                message=entry.get("message", ""),
+                line=entry.get("line", 0),
+                file=entry.get("file", "<input>"),
+            )
+            for entry in mirror
+            if isinstance(entry, dict)
+        )
+    related = []
+    for location in result.get("relatedLocations", []):
+        physical = location.get("physicalLocation", {})
+        related.append(
+            RelatedLocation(
+                message=location.get("message", {}).get("text", ""),
+                line=physical.get("region", {}).get("startLine", 0),
+                file=physical.get("artifactLocation", {}).get("uri", "<input>"),
+            )
+        )
+    return tuple(related)

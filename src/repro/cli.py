@@ -203,6 +203,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     import json
 
     from repro.checkers import Severity, run_checkers, to_sarif
+    from repro.checkers.baseline import apply_baseline
 
     system, program, header = _load_checkable(args.file, args.field_mode)
     _resolve_replay_flags(args, "hu", header, args.file)
@@ -210,6 +211,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         system, args.solver, pts=args.pts, opt=args.opt, k_cs=args.k_cs
     )
     solution = solver.solve()
+    expansion = getattr(solver, "context", None)
     report = run_checkers(
         system,
         solution,
@@ -218,7 +220,20 @@ def _cmd_check(args: argparse.Namespace) -> int:
         checkers=args.checker or None,
         disabled=args.disable_checker or None,
         min_severity=Severity.parse(args.min_severity),
+        expansion=expansion,
+        expanded_solution=(
+            solver.context_solution() if expansion is not None else None
+        ),
     )
+
+    if args.baseline:
+        report, created = apply_baseline(args.baseline, report)
+        if created:
+            print(
+                f"recorded baseline in {args.baseline}; "
+                "subsequent runs report only new findings",
+                file=sys.stderr,
+            )
 
     if args.format == "sarif":
         rendered = json.dumps(to_sarif(report), indent=2) + "\n"
@@ -232,6 +247,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
                     "file": d.file,
                     "line": d.line,
                     "construct": d.construct,
+                    "related": [
+                        {"message": r.message, "line": r.line, "file": r.file}
+                        for r in d.related
+                    ],
                 }
                 for d in report
             ],
@@ -590,6 +609,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="insensitive",
         choices=["insensitive", "based", "sensitive"],
         help="front-end field treatment for .c inputs",
+    )
+    p_check.add_argument(
+        "--baseline",
+        help="findings-fingerprint file: created (and all current findings "
+        "recorded) when missing, otherwise only findings not in it are "
+        "reported and the exit status reflects new findings only",
     )
     p_check.add_argument("-o", "--output", help="write the report here")
     p_check.set_defaults(func=_cmd_check)

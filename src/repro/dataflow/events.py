@@ -1,0 +1,67 @@
+"""Front-end event records the dataflow clients consume.
+
+The C front-end's stub table recognizes security-relevant externals —
+taint sources/sinks/sanitizers and the pthread creation/locking family —
+and records one event per call while lowering.  The records carry only
+dense node ids and lines, so the dataflow package stays independent of
+the front-end (the checkers glue the two together).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TaintSource:
+    """A call returning (or filling a buffer with) untrusted data."""
+
+    name: str
+    #: Value node holding the untrusted handle; its pointees carry the
+    #: untrusted content.
+    node: int
+    line: int
+
+
+@dataclass(frozen=True)
+class TaintSink:
+    """A call whose argument must not be untrusted."""
+
+    name: str
+    #: The argument value node checked at the sink.
+    node: int
+    line: int
+
+
+@dataclass(frozen=True)
+class Sanitizer:
+    """A call laundering untrusted data into a trusted value."""
+
+    name: str
+    #: The cleansed result node.
+    node: int
+    line: int
+
+
+@dataclass(frozen=True)
+class ThreadSpawn:
+    """A ``pthread_create``-style call starting a new thread."""
+
+    #: Value node of the start-routine pointer; its function pointees
+    #: (from the points-to solution) are the thread's entry points.
+    fn_ptr: int
+    #: Value node of the argument forwarded to the start routine.
+    arg: Optional[int]
+    line: int
+
+
+@dataclass(frozen=True)
+class LockOp:
+    """A ``pthread_mutex_lock``/``unlock``-style call."""
+
+    #: ``"lock"`` or ``"unlock"``.
+    op: str
+    #: Value node of the mutex pointer; its pointees identify the lock.
+    mutex: int
+    line: int

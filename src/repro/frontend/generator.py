@@ -27,6 +27,13 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.constraints.builder import ConstraintBuilder, FunctionHandle
 from repro.constraints.model import ConstraintSystem, Provenance
+from repro.dataflow.events import (
+    LockOp,
+    Sanitizer,
+    TaintSink,
+    TaintSource,
+    ThreadSpawn,
+)
 from repro.frontend import cast as ast
 from repro.frontend.stubs import DEFAULT_STUBS, Stub
 
@@ -49,6 +56,14 @@ class GeneratedProgram:
     #: mentions NULL).  Pointers whose points-to set collapses to this
     #: single location are definite null dereferences.
     null_node: Optional[int] = None
+    #: Security-relevant external calls the stub table recognized, in
+    #: source order — what the dataflow clients (taint tracking, race
+    #: detection) consume.  See :mod:`repro.dataflow.events`.
+    taint_sources: List[TaintSource] = field(default_factory=list)
+    taint_sinks: List[TaintSink] = field(default_factory=list)
+    sanitizers: List[Sanitizer] = field(default_factory=list)
+    thread_spawns: List[ThreadSpawn] = field(default_factory=list)
+    lock_ops: List[LockOp] = field(default_factory=list)
 
     def node_of(self, name: str) -> int:
         """Node id of a variable by (possibly qualified) source name.
@@ -118,6 +133,12 @@ class ConstraintGenerator:
         self._array_vars: set = set()
         #: The interned ``<null>`` object, created on first NULL use.
         self._null_node: Optional[int] = None
+        #: Event streams the stubs append to (see repro.dataflow.events).
+        self._taint_sources: List[TaintSource] = []
+        self._taint_sinks: List[TaintSink] = []
+        self._sanitizers: List[Sanitizer] = []
+        self._thread_spawns: List[ThreadSpawn] = []
+        self._lock_ops: List[LockOp] = []
 
     # ------------------------------------------------------------------
     # Provenance
@@ -172,6 +193,11 @@ class ConstraintGenerator:
             heap_nodes=list(self._heap_nodes),
             string_nodes=list(self._string_nodes),
             null_node=self._null_node,
+            taint_sources=list(self._taint_sources),
+            taint_sinks=list(self._taint_sinks),
+            sanitizers=list(self._sanitizers),
+            thread_spawns=list(self._thread_spawns),
+            lock_ops=list(self._lock_ops),
         )
 
     # ------------------------------------------------------------------
@@ -541,6 +567,29 @@ class ConstraintGenerator:
         else:
             _, node, offset = target
             self.builder.store(node, value, offset=offset)
+
+    # ------------------------------------------------------------------
+    # Dataflow events (recorded by the security-relevant stubs)
+    # ------------------------------------------------------------------
+
+    def record_taint_source(self, name: str, node: int, line: int) -> None:
+        self._taint_sources.append(TaintSource(name=name, node=node, line=line))
+
+    def record_taint_sink(self, name: str, node: int, line: int) -> None:
+        self._taint_sinks.append(TaintSink(name=name, node=node, line=line))
+
+    def record_sanitizer(self, name: str, node: int, line: int) -> None:
+        self._sanitizers.append(Sanitizer(name=name, node=node, line=line))
+
+    def record_thread_spawn(
+        self, fn_ptr: int, arg: Optional[int], line: int
+    ) -> None:
+        self._thread_spawns.append(
+            ThreadSpawn(fn_ptr=fn_ptr, arg=arg, line=line)
+        )
+
+    def record_lock(self, op: str, mutex: int, line: int) -> None:
+        self._lock_ops.append(LockOp(op=op, mutex=mutex, line=line))
 
     # ------------------------------------------------------------------
     # Object factories (also used by the stubs)

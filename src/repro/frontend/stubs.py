@@ -131,3 +131,116 @@ def _qsort(gen, args, line):
 
 
 DEFAULT_STUBS["qsort"] = _qsort
+
+
+# ----------------------------------------------------------------------
+# Security-relevant externals: the stubs below model the same pointer
+# behaviour as the families above *and* record a dataflow event on the
+# generator, which is how the taint-flow and race checkers learn where
+# untrusted data enters/exits and where threads and locks appear.
+# ----------------------------------------------------------------------
+
+
+def _source_returning(name: str) -> Stub:
+    """Externals returning untrusted data (getenv, gets with no arg)."""
+
+    def stub(gen, args, line):
+        value = gen.unknown_object(name, line)
+        gen.record_taint_source(name, value, line)
+        return value
+
+    return stub
+
+
+def _source_filling(arg_index: int, name: str) -> Stub:
+    """Externals writing untrusted data into an argument buffer and
+    returning it (gets/fgets) or nothing (read/recv)."""
+
+    def stub(gen, args, line):
+        if len(args) > arg_index and args[arg_index] is not None:
+            target = args[arg_index]
+        else:
+            target = gen.unknown_object(name, line)
+        gen.record_taint_source(name, target, line)
+        return target if arg_index == 0 else None
+
+    return stub
+
+
+def _sink_on_first(name: str, returns_handle: bool = False) -> Stub:
+    """Externals whose first argument must be trusted (system, exec*)."""
+
+    def stub(gen, args, line):
+        if args and args[0] is not None:
+            gen.record_taint_sink(name, args[0], line)
+        if returns_handle:
+            return gen.unknown_object(name, line)
+        return None
+
+    return stub
+
+
+def _sanitizer(name: str) -> Stub:
+    """Validation/escaping routines: the result is a *fresh* trusted
+    object — sanitizing breaks both the pointer identity and the taint
+    of the input (the cleansed string is new storage)."""
+
+    def stub(gen, args, line):
+        value = gen.unknown_object("sanitized", line)
+        gen.record_sanitizer(name, value, line)
+        return value
+
+    return stub
+
+
+def _pthread_create(gen, args, line):
+    """pthread_create(tid, attr, start, arg): the start routine — every
+    function pointee of ``start`` — runs concurrently with ``arg``."""
+    if len(args) >= 3 and args[2] is not None:
+        start = args[2]
+        arg = args[3] if len(args) >= 4 else None
+        call_arg = arg if arg is not None else gen.fresh_tmp(line, "threadarg")
+        gen.builder.call_indirect(start, [call_arg], ret=None)
+        gen.record_thread_spawn(start, arg, line)
+    return None
+
+
+def _lock_op(op: str) -> Stub:
+    def stub(gen, args, line):
+        if args and args[0] is not None:
+            gen.record_lock(op, args[0], line)
+        return None
+
+    return stub
+
+
+DEFAULT_STUBS.update(
+    {
+        # Taint sources: untrusted environment/input data.
+        "getenv": _source_returning("getenv"),
+        "getpass": _source_returning("getpass"),
+        "readline": _source_returning("readline"),
+        "gets": _source_filling(0, "gets"),
+        "fgets": _source_filling(0, "fgets"),
+        "read": _source_filling(1, "read"),
+        "recv": _source_filling(1, "recv"),
+        # Taint sinks: the argument reaches a shell / exec boundary.
+        "system": _sink_on_first("system"),
+        "popen": _sink_on_first("popen", returns_handle=True),
+        "execl": _sink_on_first("execl"),
+        "execlp": _sink_on_first("execlp"),
+        "execv": _sink_on_first("execv"),
+        "execvp": _sink_on_first("execvp"),
+        # Sanitizers: launder untrusted data into a trusted value.
+        "sanitize": _sanitizer("sanitize"),
+        "shell_escape": _sanitizer("shell_escape"),
+        # Threads and locks.
+        "pthread_create": _pthread_create,
+        "pthread_join": _noop,
+        "pthread_exit": _noop,
+        "pthread_mutex_init": _noop,
+        "pthread_mutex_destroy": _noop,
+        "pthread_mutex_lock": _lock_op("lock"),
+        "pthread_mutex_unlock": _lock_op("unlock"),
+    }
+)

@@ -1,0 +1,16 @@
+/* The spawned entry point comes from the points-to solution: the
+ * start routine is an indirect function pointer, not a literal. */
+char *shared;
+char *val;
+
+void worker(void *arg) {
+    shared = val; /* BUG: race */
+}
+
+int main() {
+    void (*start)(void *);
+    start = &worker;
+    pthread_create(0, 0, start, 0);
+    shared = val;
+    return 0;
+}

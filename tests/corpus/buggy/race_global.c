@@ -1,0 +1,15 @@
+/* The classic write/write race: both threads store to the same
+ * global pointer slot with no synchronization at all. */
+char *slot;
+char *a;
+char *b;
+
+void worker(void *arg) {
+    slot = a; /* BUG: race */
+}
+
+int main() {
+    pthread_create(0, 0, &worker, 0);
+    slot = b;
+    return 0;
+}

@@ -1,0 +1,17 @@
+/* A race on heap storage: both threads write through the same global
+ * pointer into one malloc'd cell.  The shared location is the heap
+ * object itself, found through the points-to solution. */
+char **cell;
+char *x;
+char *y;
+
+void worker(void *arg) {
+    *cell = x; /* BUG: race */
+}
+
+int main() {
+    cell = malloc(8);
+    pthread_create(0, 0, &worker, 0);
+    *cell = y;
+    return 0;
+}

@@ -1,0 +1,27 @@
+/* The lockset discipline, both ways: accesses to 'safe' always hold
+ * the same mutex (silent), but the two accesses to 'unsafe' hold
+ * *different* mutexes — their locksets are disjoint, so the common
+ * lock that would serialize them does not exist. */
+char *safe;
+char *unsafe;
+char *v;
+int mu;
+int mv;
+
+void worker(void *arg) {
+    pthread_mutex_lock(&mu);
+    safe = v;
+    pthread_mutex_unlock(&mu);
+    pthread_mutex_lock(&mv);
+    unsafe = v; /* BUG: race */
+    pthread_mutex_unlock(&mv);
+}
+
+int main() {
+    pthread_create(0, 0, &worker, 0);
+    pthread_mutex_lock(&mu);
+    safe = v;
+    unsafe = v;
+    pthread_mutex_unlock(&mu);
+    return 0;
+}

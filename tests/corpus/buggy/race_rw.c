@@ -1,0 +1,15 @@
+/* A read/write race: the spawned thread updates the shared pointer
+ * while main reads it. */
+char *shared;
+char *val;
+
+void worker(void *arg) {
+    shared = val; /* BUG: race */
+}
+
+int main() {
+    char *r;
+    pthread_create(0, 0, &worker, 0);
+    r = shared;
+    return 0;
+}

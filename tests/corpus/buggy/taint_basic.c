@@ -1,0 +1,8 @@
+/* The simplest taint flow: the environment is untrusted, and the
+ * value read from it reaches system() unvalidated. */
+int main() {
+    char *cmd;
+    cmd = getenv("PATH");
+    system(cmd); /* BUG: taint-flow */
+    return 0;
+}

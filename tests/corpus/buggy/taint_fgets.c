@@ -1,0 +1,10 @@
+/* A filling source: fgets writes untrusted bytes into its buffer
+ * argument (and returns it), and the buffer reaches popen. */
+int main() {
+    char *buf;
+    char *cmd;
+    buf = malloc(64);
+    cmd = fgets(buf, 64, 0);
+    popen(cmd, "r"); /* BUG: taint-flow */
+    return 0;
+}

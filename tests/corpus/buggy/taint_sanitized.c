@@ -1,0 +1,11 @@
+/* Sanitizers end taint: the escaped copy is fine to execute, the raw
+ * value is not.  Only the second call is a finding. */
+int main() {
+    char *raw;
+    char *clean;
+    raw = getenv("CMD");
+    clean = shell_escape(raw);
+    system(clean);
+    system(raw); /* BUG: taint-flow */
+    return 0;
+}

@@ -1,0 +1,16 @@
+/* Taint through interprocedural value flow: the helper neither
+ * sources nor sinks anything, it just forwards the pointer — the
+ * engine must track the flow through the call's parameter and
+ * return copies. */
+char *route(char *s) {
+    return s;
+}
+
+int main() {
+    char *raw;
+    char *cmd;
+    raw = getenv("CMD");
+    cmd = route(raw);
+    system(cmd); /* BUG: taint-flow */
+    return 0;
+}

@@ -1,0 +1,13 @@
+/* Taint through memory: the untrusted value is stored through one
+ * pointer into a heap cell and loaded back through another — the
+ * flow is only visible via the points-to relation. */
+char **box;
+
+int main() {
+    char *out;
+    box = malloc(8);
+    *box = getenv("CMD");
+    out = *box;
+    system(out); /* BUG: taint-flow */
+    return 0;
+}

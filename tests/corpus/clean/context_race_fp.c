@@ -1,0 +1,31 @@
+/* The k-CFA precision demo for races: 'pick' returns its argument,
+ * called once with &a (by the spawned thread) and once with &b (by
+ * main).  Context-insensitive analysis merges both calls through
+ * pick's single parameter/return pair, so both threads appear to
+ * write through pointers targeting *both* slots and the detector
+ * fabricates write/write races on 'a' and 'b'.  1-CFA keeps the two
+ * flows apart — the thread only writes 'a', main only writes 'b' —
+ * and this file is clean.  The insensitive findings are pinned by
+ * context_race_fp.k0.golden.json. */
+char *a;
+char *b;
+char *v1;
+char *v2;
+
+char **pick(char **s) {
+    return s;
+}
+
+void worker(void *arg) {
+    char **t;
+    t = pick(&a);
+    *t = v1;
+}
+
+int main() {
+    char **u;
+    pthread_create(0, 0, &worker, 0);
+    u = pick(&b);
+    *u = v2;
+    return 0;
+}

@@ -1,0 +1,25 @@
+/* The k-CFA precision demo for taint: 'put' stores its value argument
+ * through its slot argument, and is called once with untrusted data
+ * (into 'hot') and once with a string literal (into 'cold').
+ * Context-insensitive analysis merges both calls through put's single
+ * parameter pair, so the getenv taint appears to reach 'cold' and the
+ * system() call below looks like a taint flow — a false positive.
+ * 1-CFA clones put per call site, keeps the two stores apart, and
+ * this file is clean.  The insensitive finding is pinned by
+ * context_taint_fp.k0.golden.json; the corpus runner analyzes
+ * context_*.c files with --k-cs 1. */
+void put(char **slot, char *value) {
+    *slot = value;
+}
+
+char *hot;
+char *cold;
+
+int main() {
+    char *cmd;
+    put(&hot, getenv("CMD"));
+    put(&cold, "echo ok");
+    cmd = cold;
+    system(cmd);
+    return 0;
+}

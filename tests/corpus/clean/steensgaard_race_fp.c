@@ -1,0 +1,27 @@
+/* The Section 2 precision argument, for races: 'w' takes the address
+ * of both 'x' and 'y', so unification-based analysis merges the two
+ * slots into one class — the thread's write through r (really only
+ * 'x') and main's write through s (really only 'y') then appear to
+ * collide on shared storage.  Inclusion-based analysis keeps the
+ * slots apart and this file is clean. */
+char *x;
+char *y;
+char *v1;
+char *v2;
+char **w;
+
+void worker(void *arg) {
+    char **r;
+    r = &x;
+    *r = v1;
+}
+
+int main() {
+    char **s;
+    w = &x;
+    w = &y;
+    s = &y;
+    pthread_create(0, 0, &worker, 0);
+    *s = v2;
+    return 0;
+}

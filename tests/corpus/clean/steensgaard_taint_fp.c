@@ -1,0 +1,19 @@
+/* The Section 2 precision argument, for taint: 'j' takes the address
+ * of both string slots, so unification-based analysis (Steensgaard)
+ * merges 't1' and 't2' into one pointee class — the getenv taint
+ * stored in 't1' appears readable through 't2' and the system() call
+ * looks like a taint flow.  Inclusion-based analysis keeps the slots
+ * separate: nothing ever assigns 't2', and this file is clean. */
+char *t1;
+char *t2;
+char **j;
+
+int main() {
+    char *cmd;
+    j = &t1;
+    j = &t2;
+    t1 = getenv("CMD");
+    cmd = t2;
+    system(cmd);
+    return 0;
+}

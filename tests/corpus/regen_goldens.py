@@ -6,9 +6,13 @@ Run after intentionally changing checker messages or corpus programs:
     PYTHONPATH=src python tests/corpus/regen_goldens.py
 
 Each golden records the full diagnostics (rule, severity, line,
-construct, message) that ``repro check --solver lcd+hcd`` produces at
-the default ``warning`` threshold; ``tests/test_checker_corpus.py``
-compares against them field-by-field.
+construct, message, related locations) that ``repro check --solver
+lcd+hcd`` produces at the default ``warning`` threshold;
+``tests/test_checker_corpus.py`` compares against them field-by-field.
+``context_*.c`` corpus files are analyzed at ``--k-cs 1`` (their
+clean/buggy status is defined at k=1), and the ``clean/context_*.c``
+precision demos additionally get a ``.k0.golden.json`` pinning the
+insensitive false positives the benches count.
 """
 
 import json
@@ -23,37 +27,64 @@ def corpus_field_mode(path: pathlib.Path) -> str:
     return "sensitive" if ".sensitive." in path.name else "insensitive"
 
 
+def corpus_k_cs(path: pathlib.Path) -> int:
+    """``context_*.c`` files are clean/buggy at k=1, the rest at k=0."""
+    return 1 if path.name.startswith("context_") else 0
+
+
 def main() -> None:
     sys.path.insert(0, str(CORPUS.parents[1] / "src"))
     from repro.checkers import Severity, run_checkers
     from repro.frontend import generate_constraints
-    from repro.solvers.registry import solve
+    from repro.solvers.registry import make_solver
 
-    for path in sorted((CORPUS / "buggy").glob("*.c")):
+    def report_for(path: pathlib.Path, k_cs: int):
         program = generate_constraints(
             path.read_text(), field_mode=corpus_field_mode(path)
         )
-        solution = solve(program.system, "lcd+hcd")
-        report = run_checkers(
+        solver = make_solver(program.system, "lcd+hcd", k_cs=k_cs)
+        solution = solver.solve()
+        expansion = solver.context
+        return run_checkers(
             program.system,
             solution,
             program=program,
             path=path.name,
             min_severity=Severity.WARNING,
+            expansion=expansion,
+            expanded_solution=(
+                solver.context_solution() if expansion is not None else None
+            ),
         )
-        golden = [
+
+    def as_golden(report):
+        return [
             {
                 "rule": d.rule,
                 "severity": d.severity.label,
                 "line": d.line,
                 "construct": d.construct,
                 "message": d.message,
+                "related": [
+                    {"message": r.message, "line": r.line, "file": r.file}
+                    for r in d.related
+                ],
             }
             for d in report
         ]
-        out = path.with_suffix(".golden.json")
+
+    def write(out: pathlib.Path, report) -> None:
+        golden = as_golden(report)
         out.write_text(json.dumps(golden, indent=2) + "\n")
         print(f"wrote {out.name}: {len(golden)} findings")
+
+    for path in sorted((CORPUS / "buggy").glob("*.c")):
+        write(path.with_suffix(".golden.json"), report_for(path, corpus_k_cs(path)))
+
+    # Pin the insensitive findings of the k-CFA precision demos.
+    for path in sorted((CORPUS / "clean").glob("context_*.c")):
+        out = path.parent / (path.stem + ".k0.golden.json")
+        write(out, report_for(path, 0))
 
 
 if __name__ == "__main__":

@@ -29,7 +29,7 @@ from repro.checkers import (
 from repro.cli import main as cli_main
 from repro.constraints.parser import dumps_constraints, loads_constraints
 from repro.frontend import generate_constraints
-from repro.solvers.registry import solve
+from repro.solvers.registry import make_solver, solve
 from repro.verify import minimize_system
 from repro.workloads import expected_bug_findings
 
@@ -39,8 +39,10 @@ CLEAN = sorted((CORPUS / "clean").glob("*.c"))
 
 #: Checkers for which a coarser solution can only ADD findings (see the
 #: monotonicity note in ``repro/checkers/checks.py``); the precision
-#: comparison below is only meaningful for these.
-MONOTONE_RULES = ("bad-indirect-call", "dangling-stack-escape")
+#: comparison below is only meaningful for these.  ``race`` is absent
+#: on purpose: a coarser solution can inflate a mutex's points-to set,
+#: grow locksets, and *suppress* races.
+MONOTONE_RULES = ("bad-indirect-call", "dangling-stack-escape", "taint-flow")
 
 
 def corpus_field_mode(path: pathlib.Path) -> str:
@@ -62,21 +64,45 @@ def check_file(path: pathlib.Path, algorithm: str = "lcd+hcd", k_cs=None):
     )
     if k_cs is None:
         k_cs = corpus_k_cs(path)
-    solution = solve(program.system, algorithm, k_cs=k_cs)
+    solver = make_solver(program.system, algorithm, k_cs=k_cs)
+    solution = solver.solve()
+    expansion = solver.context
     return run_checkers(
         program.system,
         solution,
         program=program,
         path=path.name,
         min_severity=Severity.WARNING,
+        expansion=expansion,
+        expanded_solution=(
+            solver.context_solution() if expansion is not None else None
+        ),
     )
 
 
+def as_golden(report):
+    """The committed golden shape of a report (see regen_goldens.py)."""
+    return [
+        {
+            "rule": d.rule,
+            "severity": d.severity.label,
+            "line": d.line,
+            "construct": d.construct,
+            "message": d.message,
+            "related": [
+                {"message": r.message, "line": r.line, "file": r.file}
+                for r in d.related
+            ],
+        }
+        for d in report
+    ]
+
+
 def test_corpus_is_populated():
-    """The acceptance floor: at least 12 buggy programs, all five
+    """The acceptance floor: at least 22 buggy programs, all seven
     checkers covered, and a non-trivial clean set."""
-    assert len(BUGGY) >= 12
-    assert len(CLEAN) >= 4
+    assert len(BUGGY) >= 22
+    assert len(CLEAN) >= 8
     covered = set()
     for path in BUGGY:
         covered.update(rule for rule, _ in expected_bug_findings(path.read_text()))
@@ -86,6 +112,8 @@ def test_corpus_is_populated():
         "heap-leak",
         "bad-indirect-call",
         "invalid-field-offset",
+        "taint-flow",
+        "race",
     }
 
 
@@ -104,18 +132,7 @@ def test_buggy_program_findings_match_markers(path):
 def test_buggy_program_matches_golden(path):
     """Field-by-field agreement with the committed golden."""
     golden = json.loads(path.with_suffix(".golden.json").read_text())
-    report = check_file(path)
-    got = [
-        {
-            "rule": d.rule,
-            "severity": d.severity.label,
-            "line": d.line,
-            "construct": d.construct,
-            "message": d.message,
-        }
-        for d in report
-    ]
-    assert got == golden
+    assert as_golden(check_file(path)) == golden
 
 
 @pytest.mark.parametrize("path", CLEAN, ids=lambda p: p.name)
@@ -158,22 +175,16 @@ def test_context_false_positive_eliminated():
     assert any(d.rule == "bad-indirect-call" for d in coarse)
 
 
-def test_context_fp_matches_k0_golden():
-    """The insensitive findings on context_fp.c are pinned field-by-field
-    so the FP the headline bench counts can never silently drift."""
-    path = CORPUS / "clean" / "context_fp.c"
-    golden = json.loads((path.parent / "context_fp.k0.golden.json").read_text())
-    got = [
-        {
-            "rule": d.rule,
-            "severity": d.severity.label,
-            "line": d.line,
-            "construct": d.construct,
-            "message": d.message,
-        }
-        for d in check_file(path, k_cs=0)
-    ]
-    assert got == golden
+@pytest.mark.parametrize(
+    "name", ["context_fp", "context_taint_fp", "context_race_fp"]
+)
+def test_context_fp_matches_k0_golden(name):
+    """The insensitive findings on the context_*.c demos are pinned
+    field-by-field so the FPs the benches count can never silently
+    drift."""
+    path = CORPUS / "clean" / f"{name}.c"
+    golden = json.loads((path.parent / f"{name}.k0.golden.json").read_text())
+    assert as_golden(check_file(path, k_cs=0)) == golden
 
 
 @pytest.mark.parametrize("path", BUGGY + CLEAN, ids=lambda p: p.name)
@@ -199,6 +210,68 @@ def test_steensgaard_false_positive_eliminated():
     assert len(check_file(path, "lcd+hcd")) == 0
     coarse = check_file(path, "steensgaard")
     assert any(d.rule == "bad-indirect-call" for d in coarse)
+
+
+def test_context_taint_false_positive_eliminated():
+    """The k-CFA precision demo for the dataflow engine: a shared
+    helper stores untrusted data into one slot and a literal into
+    another; insensitive analysis merges the stores and taints the
+    clean slot's sink, 1-CFA keeps the flows apart."""
+    path = CORPUS / "clean" / "context_taint_fp.c"
+    assert len(check_file(path, k_cs=1)) == 0
+    assert len(check_file(path, k_cs=2)) == 0
+    coarse = check_file(path, k_cs=0)
+    assert any(d.rule == "taint-flow" for d in coarse)
+
+
+def test_context_race_false_positive_eliminated():
+    """Same demo for the race detector: insensitive analysis merges
+    the two pick() calls, making both threads appear to write through
+    pointers to both slots."""
+    path = CORPUS / "clean" / "context_race_fp.c"
+    assert len(check_file(path, k_cs=1)) == 0
+    assert len(check_file(path, k_cs=2)) == 0
+    coarse = check_file(path, k_cs=0)
+    assert any(d.rule == "race" for d in coarse)
+
+
+def test_steensgaard_taint_false_positive_eliminated():
+    """Unification merges the two string slots, so recorded taint in
+    one appears readable through the other; inclusion-based analysis
+    keeps them apart."""
+    path = CORPUS / "clean" / "steensgaard_taint_fp.c"
+    assert len(check_file(path, "lcd+hcd")) == 0
+    coarse = check_file(path, "steensgaard")
+    assert any(d.rule == "taint-flow" for d in coarse)
+
+
+def test_steensgaard_race_false_positive_eliminated():
+    """Unification merges the two pointer slots the threads write
+    through, fabricating a write/write collision on shared storage."""
+    path = CORPUS / "clean" / "steensgaard_race_fp.c"
+    assert len(check_file(path, "lcd+hcd")) == 0
+    coarse = check_file(path, "steensgaard")
+    assert any(d.rule == "race" for d in coarse)
+
+
+def test_two_site_findings_carry_related_locations():
+    """Races cite both access sites; taint flows cite their source.
+    Both survive the SARIF round-trip exactly."""
+    race = check_file(CORPUS / "buggy" / "race_lockset.c")
+    (finding,) = list(race)
+    assert finding.rule == "race"
+    assert finding.related and finding.related[0].line > 0
+    assert finding.related[0].line != finding.line
+    taint = check_file(CORPUS / "buggy" / "taint_via_copy.c")
+    (finding,) = list(taint)
+    assert finding.rule == "taint-flow"
+    assert finding.related and finding.related[0].line > 0
+    for report in (race, taint):
+        doc = to_sarif(report)
+        validate_sarif(doc)
+        assert list(from_sarif(doc)) == list(report)
+        (result,) = doc["runs"][0]["results"]
+        assert result["relatedLocations"], "SARIF must carry the second site"
 
 
 def test_reduce_preserves_provenance():
@@ -271,3 +344,47 @@ class TestCheckCli:
             cli_main(["check", str(path), "--disable-checker", "heap-leak"])
             == 0
         )
+
+    def test_json_output_carries_related(self, capsys):
+        path = CORPUS / "buggy" / "race_global.c"
+        assert cli_main(["check", str(path), "--format", "json"]) == 1
+        (finding,) = json.loads(capsys.readouterr().out)
+        assert finding["rule"] == "race"
+        (related,) = finding["related"]
+        assert related["line"] > 0 and related["message"]
+
+    def test_baseline_records_then_suppresses(self, tmp_path, capsys):
+        path = CORPUS / "buggy" / "taint_basic.c"
+        baseline = tmp_path / "baseline.json"
+        # First run records everything and succeeds.
+        assert cli_main(["check", str(path), "--baseline", str(baseline)]) == 0
+        assert baseline.exists()
+        assert "no findings" in capsys.readouterr().out
+        # Second run: nothing new, still clean.
+        assert cli_main(["check", str(path), "--baseline", str(baseline)]) == 0
+        assert "no findings" in capsys.readouterr().out
+        # A different program's findings are new against this baseline.
+        other = CORPUS / "buggy" / "race_global.c"
+        assert cli_main(["check", str(other), "--baseline", str(baseline)]) == 1
+        assert "race" in capsys.readouterr().out
+
+    def test_baseline_reports_only_new_findings(self, tmp_path, capsys):
+        """A baseline recorded from a checker subset leaves findings of
+        the other checkers as new."""
+        path = CORPUS / "buggy" / "taint_sanitized.c"
+        baseline = tmp_path / "baseline.json"
+        assert (
+            cli_main(
+                [
+                    "check", str(path),
+                    "--checker", "heap-leak",
+                    "--baseline", str(baseline),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # Full run against that baseline: the taint finding is new.
+        assert cli_main(["check", str(path), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "taint-flow" in out
